@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablation of the Section 4.2.4 overhead-reduction choices for the
+ * critical-word channel:
+ *
+ *   (A) Fig. 5c (default): 4 x9 single-chip sub-ranks per sub-channel,
+ *       ONE shared double-pumped address/command bus.
+ *   (B) Fig. 5b: same data organisation but four dedicated command
+ *       buses/controllers (the pre-optimisation design; costs ~4x the
+ *       pins and controllers, so (A) must match its performance).
+ *   (C) No sub-ranking: each fast access activates a wide 4-chip rank
+ *       (higher activation energy, less rank parallelism).
+ *
+ * The paper's claims: sharing the bus is "safe ... without creating
+ * contention" because the data:command occupancy ratio is 4:1, and
+ * sub-ranking "reduces activation energy [and] increases rank and bank
+ * level parallelism".
+ */
+
+#include "bench_util.hh"
+#include "core/hetero_memory.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    bool sharedBus;
+    bool subRanked;
+};
+
+/** System with a hand-built CWF backend (bypasses the config factory). */
+struct AblationResult
+{
+    double aggIpc = 0;
+    double fastPowerMw = 0;
+    std::uint64_t busConflicts = 0;
+};
+
+AblationResult
+runVariant(const Variant &variant, const std::string &bench,
+           const ExperimentScale &scale)
+{
+    cwf::CwfHeteroMemory::Params p;
+    p.configName = variant.name;
+    p.slowDevice = dram::DeviceParams::lpddr2_800();
+    p.fastDevice = dram::DeviceParams::rldram3();
+    p.fastDevice.lineColsPerRow *= 2; // word-granularity columns
+    p.slowChipsPerRank = 8;
+    p.sharedCommandBus = variant.sharedBus;
+    if (variant.subRanked) {
+        p.ranksPerFastSub = 4;
+        p.fastChipsPerRank = 1;
+    } else {
+        p.ranksPerFastSub = 1;
+        p.fastChipsPerRank = 4;
+    }
+
+    // Assemble a system around the custom backend via SystemParams'
+    // normal pieces but swapping the memory in: simplest is to build the
+    // backend and hierarchy/cores manually mirroring sim::System.
+    auto backend = std::make_unique<cwf::CwfHeteroMemory>(
+        p, std::make_unique<cwf::StaticLayout>());
+    cwf::CwfHeteroMemory *mem = backend.get();
+
+    cache::Hierarchy::Params hp;
+    cache::Hierarchy hierarchy(hp, *mem);
+    const auto &profile = workloads::suite::byName(bench);
+    std::vector<std::unique_ptr<workloads::WorkloadGenerator>> gens;
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+    for (unsigned c = 0; c < 8; ++c) {
+        gens.push_back(std::make_unique<workloads::WorkloadGenerator>(
+            profile, static_cast<std::uint8_t>(c), 12345 + 17 * c,
+            static_cast<Addr>(c) << 30));
+        auto *gen = gens.back().get();
+        cores.push_back(std::make_unique<cpu::Core>(
+            static_cast<std::uint8_t>(c), cpu::Core::Params{},
+            [gen] { return gen->next(); }, hierarchy));
+    }
+    hierarchy.setWakeFn(
+        [&cores](std::uint8_t core, std::uint16_t slot, Tick when) {
+            cores.at(core)->wake(slot, when);
+        });
+
+    const RunConfig rc = scale.runConfig(8, 8);
+    Tick now = 0;
+    auto run_until = [&](std::uint64_t target, Tick cap) {
+        const std::uint64_t start =
+            hierarchy.stats().demandCompletions.value();
+        const Tick deadline = now + cap;
+        while (hierarchy.stats().demandCompletions.value() - start <
+                   target &&
+               now < deadline) {
+            for (auto &core : cores)
+                core->tick(now);
+            hierarchy.tick(now);
+            mem->tick(now);
+            now += 1;
+        }
+    };
+    run_until(rc.warmupReads, rc.maxWarmupTicks);
+    const Tick window_start = now;
+    for (auto &core : cores)
+        core->resetStats(now);
+    hierarchy.resetStats();
+    mem->resetStats(now);
+    run_until(rc.measureReads, rc.maxMeasureTicks);
+
+    AblationResult out;
+    for (auto &core : cores)
+        out.aggIpc += core->ipc(now);
+    (void)window_start;
+    std::vector<const dram::Channel *> fast;
+    for (unsigned s = 0; s < mem->fastChannel().subChannels(); ++s)
+        fast.push_back(&mem->fastChannel().sub(s));
+    out.fastPowerMw = cwf::aggregatePowerMw(fast);
+    out.busConflicts = mem->fastChannel().arbiter().conflicts();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation (Section 4.2.4)",
+        "shared command bus and x9 sub-ranking on the fast channel",
+        "sharing the addr/cmd bus is contention-free (4:1 occupancy); "
+        "sub-ranking cuts activation energy at no performance cost");
+
+    const ExperimentScale scale = ExperimentScale::fromEnv();
+    const Variant variants[] = {
+        {"A: shared bus + x9 sub-ranks (Fig. 5c)", true, true},
+        {"B: dedicated buses + x9 sub-ranks (Fig. 5b)", false, true},
+        {"C: shared bus + wide 4-chip rank", true, false},
+    };
+
+    for (const std::string bench : {"leslie3d", "mcf", "libquantum"}) {
+        std::cout << bench << ":\n";
+        Table t({"variant", "aggregate IPC", "fast DIMM power (mW)",
+                 "cmd-bus conflicts"});
+        double ipc_a = 0, ipc_b = 0;
+        for (const auto &variant : variants) {
+            const AblationResult r = runVariant(variant, bench, scale);
+            if (variant.sharedBus && variant.subRanked)
+                ipc_a = r.aggIpc;
+            if (!variant.sharedBus)
+                ipc_b = r.aggIpc;
+            t.addRow({variant.name, Table::num(r.aggIpc, 2),
+                      Table::num(r.fastPowerMw, 0),
+                      std::to_string(r.busConflicts)});
+        }
+        std::cout << t.render();
+        std::cout << "shared-vs-dedicated performance delta: "
+                  << Table::percent(ipc_a / ipc_b - 1)
+                  << " (paper: sharing is safe)\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: DRAM
+ * channel ticking under load, cache lookups, SECDED encode/decode,
+ * address decoding and workload generation.  These guard the simulator's
+ * own performance (a full Fig. 6 sweep is millions of these operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+#include "ecc/secded.hh"
+#include "workloads/suite.hh"
+
+using namespace hetsim;
+
+namespace
+{
+
+void
+BM_ChannelTickLoaded(benchmark::State &state)
+{
+    const auto dev = dram::DeviceParams::byKind(
+        static_cast<dram::DeviceKind>(state.range(0)));
+    dram::Channel chan("bm", dev, 1);
+    std::uint64_t completed = 0;
+    chan.setCallback([&](dram::MemRequest &) { completed += 1; });
+    Rng rng(42);
+    Tick t = 0;
+    std::uint64_t injected = 0;
+    for (auto _ : state) {
+        if (chan.canAccept(AccessType::Read) && rng.chance(0.1)) {
+            dram::MemRequest req;
+            req.id = injected++;
+            req.lineAddr = injected * 64;
+            req.type = AccessType::Read;
+            req.coord = dram::DramCoord{
+                0, 0, static_cast<std::uint8_t>(rng.below(dev.banksPerRank)),
+                static_cast<std::uint32_t>(rng.below(256)),
+                static_cast<std::uint32_t>(rng.below(dev.lineColsPerRow))};
+            chan.enqueue(req, t);
+        }
+        chan.tick(t);
+        t += 1;
+    }
+    state.counters["reads_completed"] =
+        static_cast<double>(completed);
+}
+BENCHMARK(BM_ChannelTickLoaded)
+    ->Arg(0)  // DDR3
+    ->Arg(1)  // LPDDR2
+    ->Arg(2); // RLDRAM3
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache l2(cache::Cache::Params{"bm", 4 * 1024 * 1024, 8});
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr line = rng.below(1 << 20) << kLineShift;
+        if (!l2.probe(line))
+            l2.fill(line, false);
+    }
+    for (auto _ : state) {
+        const Addr a = rng.below(1 << 20) << kLineShift;
+        benchmark::DoNotOptimize(l2.access(a, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SecdedEncode(benchmark::State &state)
+{
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ecc::Secded7264::encode(rng.next()));
+}
+BENCHMARK(BM_SecdedEncode);
+
+void
+BM_SecdedDecodeWithFault(benchmark::State &state)
+{
+    Rng rng(5);
+    for (auto _ : state) {
+        const std::uint64_t data = rng.next();
+        const std::uint8_t check = ecc::Secded7264::encode(data);
+        benchmark::DoNotOptimize(ecc::Secded7264::decode(
+            data ^ (1ULL << rng.below(64)), check));
+    }
+}
+BENCHMARK(BM_SecdedDecodeWithFault);
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    const dram::AddressMap map(dram::MapScheme::OpenPage, 4, 1, 8, 32768,
+                               128);
+    std::uint64_t line = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(map.decode(line += 97));
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_WorkloadGenerator(benchmark::State &state)
+{
+    const auto &profile = workloads::suite::byName("mcf");
+    workloads::WorkloadGenerator gen(profile, 0, 11, 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_WorkloadGenerator);
+
+} // namespace
+
+BENCHMARK_MAIN();

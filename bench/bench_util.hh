@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction binaries: a
+ * standard header that states which paper artifact is being regenerated,
+ * what the paper reports, and at what read quantum this run executes.
+ *
+ * Every binary prints an aligned human-readable table followed by a CSV
+ * block (between "--- csv ---" markers) for downstream plotting.
+ */
+
+#ifndef HETSIM_BENCH_BENCH_UTIL_HH
+#define HETSIM_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/experiments.hh"
+
+namespace hetsim::bench
+{
+
+inline void
+printHeader(const std::string &artifact, const std::string &title,
+            const std::string &paper_reports)
+{
+    const auto scale = sim::ExperimentScale::fromEnv();
+    std::cout << "================================================\n"
+              << artifact << ": " << title << "\n"
+              << "paper reports: " << paper_reports << "\n"
+              << "run quantum: " << scale.measureReads
+              << " demand reads/workload (HETSIM_READS to change; the "
+                 "paper used 2,000,000)\n"
+              << "================================================\n\n";
+}
+
+inline void
+printTableAndCsv(const Table &table)
+{
+    std::cout << table.render() << "\n--- csv ---\n"
+              << table.renderCsv() << "--- end csv ---\n";
+}
+
+} // namespace hetsim::bench
+
+#endif // HETSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Adaptive critical-word placement (paper Section 4.2.5): every cache
+ * line may designate one of its eight words as critical; the prediction
+ * is committed when a dirty line is written back.  mcf — whose critical
+ * words split between words 0 and 3 — is the paper's showcase.
+ *
+ * Compares RL (static word 0), RL-AD (adaptive) and RL-OR (oracle), and
+ * demonstrates the AdaptiveLayout API directly.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/line_layout.hh"
+#include "sim/experiments.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+int
+main()
+{
+    // --- 1. The layout policy in isolation -------------------------
+    std::cout << "AdaptiveLayout walkthrough\n"
+              << "--------------------------\n";
+    cwf::AdaptiveLayout layout;
+    const Addr line = 0x4000;
+    std::cout << "fresh line, stored word        = "
+              << layout.plannedWord(line, 3, true) << "\n";
+    std::cout << "  (demand for word 3 observed; no writeback yet)\n";
+    std::cout << "after re-fetch, stored word    = "
+              << layout.plannedWord(line, 3, true) << "\n";
+    layout.onWriteback(line);
+    std::cout << "after dirty writeback, stored  = "
+              << layout.plannedWord(line, 0, true) << "\n";
+    std::cout << "remaps committed               = "
+              << layout.remaps().value() << "\n\n";
+
+    // --- 2. Whole-system comparison on mcf --------------------------
+    // Adaptation needs full fetch -> dirty-writeback -> re-fetch cycles,
+    // so this example defaults to a longer window than the others.
+    setenv("HETSIM_READS", "60000", 0);
+    ExperimentRunner runner;
+    const SystemParams baseline =
+        ExperimentRunner::paramsFor(MemConfig::BaselineDDR3);
+
+    std::cout << "mcf under static / adaptive / oracle placement\n";
+    Table t({"scheme", "norm. throughput", "served by RLDRAM3",
+             "critical word latency"});
+    for (const MemConfig mem :
+         {MemConfig::CwfRL, MemConfig::CwfRLAdaptive,
+          MemConfig::CwfRLOracle}) {
+        const SystemParams p = ExperimentRunner::paramsFor(mem);
+        const RunResult &r = runner.sharedRun(p, "mcf");
+        t.addRow({toString(mem),
+                  Table::num(
+                      runner.normalizedThroughput(p, baseline, "mcf"), 3),
+                  Table::percent(r.servedByFastFraction),
+                  Table::num(r.criticalWordLatencyTicks, 1)});
+    }
+    std::cout << t.render() << "\n";
+    std::cout
+        << "Adaptive placement re-organises lines whose critical word\n"
+        << "is not word 0 (mcf's word-3 population) when they are\n"
+        << "written back, raising the fast-DIMM hit rate toward the\n"
+        << "oracle bound (paper Fig. 9).\n";
+    return 0;
+}

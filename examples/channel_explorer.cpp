@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Low-level tour of the DRAM substrate: drive one channel of each device
+ * type directly with a small request script, print the issued command
+ * trace (audit) and the resulting latencies, and show why RLDRAM3's
+ * bank turnaround dominates queuing behaviour (paper Sections 2-3).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table.hh"
+#include "dram/channel.hh"
+
+using namespace hetsim;
+using namespace hetsim::dram;
+
+namespace
+{
+
+void
+explore(const DeviceParams &dev)
+{
+    std::cout << dev.name << " (" << toString(dev.policy)
+              << "-page, tRC=" << dev.tRC * dev.tCkNs << " ns, "
+              << dev.banksPerRank << " banks)\n";
+
+    Channel chan("demo", dev, 1);
+    chan.enableAudit(true);
+    std::vector<MemRequest> done;
+    chan.setCallback([&](MemRequest &req) { done.push_back(req); });
+
+    // A tiny antagonistic script: two reads in one row, a row conflict,
+    // a write, then a dependent read behind the write.
+    struct Item
+    {
+        AccessType type;
+        std::uint8_t bank;
+        std::uint32_t row;
+        std::uint32_t col;
+    };
+    const Item script[] = {
+        {AccessType::Read, 0, 5, 0},  {AccessType::Read, 0, 5, 1},
+        {AccessType::Read, 0, 9, 0},  {AccessType::Write, 1, 2, 0},
+        {AccessType::Read, 1, 2, 1},
+    };
+    std::uint64_t id = 1;
+    for (const auto &item : script) {
+        MemRequest req;
+        req.id = id;
+        req.cookie = id++;
+        req.lineAddr = (req.cookie - 1) * kLineBytes;
+        req.type = item.type;
+        req.coord = DramCoord{0, 0, item.bank, item.row, item.col};
+        chan.enqueue(req, 0);
+    }
+    for (Tick t = 0; t <= 4000; ++t)
+        chan.tick(t);
+
+    Table cmds({"tick", "cmd", "bank", "row", "data beats"});
+    for (const auto &ev : chan.audit()) {
+        cmds.addRow({std::to_string(ev.at), toString(ev.cmd),
+                     std::to_string(ev.bank), std::to_string(ev.row),
+                     ev.dataEnd ? std::to_string(ev.dataStart) + ".." +
+                                      std::to_string(ev.dataEnd)
+                                : "-"});
+    }
+    std::cout << cmds.render();
+
+    Table lat({"request", "type", "latency (CPU cycles)"});
+    for (const auto &req : done) {
+        lat.addRow({std::to_string(req.cookie),
+                    req.type == AccessType::Read ? "read" : "write",
+                    std::to_string(req.totalLatency())});
+    }
+    std::cout << lat.render();
+    std::cout << "row hits: " << chan.stats().rowHits.value()
+              << ", row misses: " << chan.stats().rowMisses.value()
+              << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "hetsim channel explorer: the same five requests on the "
+                 "three device types\n"
+              << "======================================================="
+                 "===============\n\n";
+    explore(DeviceParams::ddr3_1600());
+    explore(DeviceParams::lpddr2_800());
+    explore(DeviceParams::rldram3());
+
+    std::cout
+        << "Note how DDR3/LPDDR2 interleave ACT/PRE commands around the\n"
+        << "row conflict while RLDRAM3's compound accesses simply space\n"
+        << "themselves by its 12 ns bank turnaround - the property the\n"
+        << "paper's critical-word channel is built on.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Domain scenario: why streaming codes love critical-word-first
+ * heterogeneity and pointer chasers don't (paper Sections 4.2.1/6.1.1).
+ *
+ * Runs a word-0-dominant CFD streamer (leslie3d) and a pointer chaser
+ * with bimodal criticality (mcf) on the baseline and the RL system, then
+ * prints each program's critical-word histogram and the RL outcome.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/experiments.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+int
+main()
+{
+    setenv("HETSIM_READS", "8000", 0);
+    ExperimentRunner runner;
+
+    const SystemParams baseline =
+        ExperimentRunner::paramsFor(MemConfig::BaselineDDR3);
+    const SystemParams rl = ExperimentRunner::paramsFor(MemConfig::CwfRL);
+
+    std::cout << "Critical-word regularity and what RL does with it\n"
+              << "==================================================\n\n";
+
+    for (const std::string bench : {"leslie3d", "mcf"}) {
+        const RunResult &base = runner.sharedRun(baseline, bench);
+        const RunResult &het = runner.sharedRun(rl, bench);
+
+        std::cout << bench << " (" << (bench == "leslie3d"
+                                           ? "streaming, Fig. 3a"
+                                           : "pointer chasing, Fig. 3b")
+                  << ")\n";
+
+        Table hist({"word", "critical fraction"});
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            hist.addRow({std::to_string(w),
+                         Table::percent(base.criticalWordDist[w])});
+        }
+        std::cout << hist.render();
+
+        Table cmp({"metric", "DDR3", "RL"});
+        cmp.addRow({"critical word latency (cycles)",
+                    Table::num(base.criticalWordLatencyTicks, 1),
+                    Table::num(het.criticalWordLatencyTicks, 1)});
+        cmp.addRow({"served by RLDRAM3", "-",
+                    Table::percent(het.servedByFastFraction)});
+        cmp.addRow(
+            {"normalized throughput", "1.000",
+             Table::num(runner.normalizedThroughput(rl, baseline, bench),
+                        3)});
+        std::cout << cmp.render() << "\n";
+    }
+
+    std::cout
+        << "The streamer's misses request word 0 almost exclusively, so\n"
+        << "its critical words come from the low-latency DIMM; the\n"
+        << "chaser's criticality is spread over the line and most of its\n"
+        << "requests must wait for the slow DIMM (paper Fig. 8).\n";
+    return 0;
+}

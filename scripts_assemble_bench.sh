@@ -1,0 +1,12 @@
+#!/bin/sh
+# Assemble per-binary bench outputs into bench_output.txt in glob order.
+out=/root/repo/bench_output.txt
+: > "$out"
+for b in /root/repo/build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    n=$(basename "$b")
+    echo "######## $b" >> "$out"
+    cat "/tmp/benchout/$n.txt" >> "$out" 2>/dev/null
+    echo >> "$out"
+done
+echo "assembled $(grep -c '########' "$out") sections"

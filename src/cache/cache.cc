@@ -1,0 +1,108 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::cache
+{
+
+Cache::Cache(const Params &params) : params_(params)
+{
+    sim_assert(params_.ways > 0, "cache needs at least one way");
+    sim_assert(params_.sizeBytes % (kLineBytes * params_.ways) == 0,
+               params_.name, ": size not divisible by way size");
+    sets_ = static_cast<unsigned>(params_.sizeBytes /
+                                  (kLineBytes * params_.ways));
+    sim_assert(sets_ > 0, params_.name, ": zero sets");
+    lines_.resize(static_cast<std::size_t>(sets_) * params_.ways);
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const std::uint64_t index = line_addr >> kLineShift;
+    const unsigned set = static_cast<unsigned>(index % sets_);
+    const std::uint64_t tag = index / sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+bool
+Cache::access(Addr line_addr, bool mark_dirty)
+{
+    Line *line = findLine(line_addr);
+    if (!line) {
+        misses_.inc();
+        return false;
+    }
+    hits_.inc();
+    line->lru = ++lruClock_;
+    if (mark_dirty)
+        line->dirty = true;
+    return true;
+}
+
+bool
+Cache::probe(Addr line_addr) const
+{
+    return findLine(line_addr) != nullptr;
+}
+
+Cache::Eviction
+Cache::fill(Addr line_addr, bool dirty)
+{
+    sim_assert(!probe(line_addr), params_.name,
+               ": fill of already-present line");
+    const std::uint64_t index = line_addr >> kLineShift;
+    const unsigned set = static_cast<unsigned>(index % sets_);
+    const std::uint64_t tag = index / sets_;
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.ways];
+
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+
+    Eviction ev;
+    if (victim->valid) {
+        ev.valid = true;
+        // Reconstruct the victim's address from tag and set.
+        ev.lineAddr = (victim->tag * sets_ + set) << kLineShift;
+        ev.dirty = victim->dirty;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+    return ev;
+}
+
+bool
+Cache::invalidate(Addr line_addr, bool *was_present)
+{
+    Line *line = findLine(line_addr);
+    if (was_present)
+        *was_present = line != nullptr;
+    if (!line)
+        return false;
+    const bool dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return dirty;
+}
+
+} // namespace hetsim::cache

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Set-associative write-back cache with true-LRU replacement, used for
+ * both the private L1s (32 KB / 2-way) and the shared L2 (4 MB / 8-way)
+ * of the paper's Table 1 hierarchy.
+ *
+ * The cache is purely functional (tags + dirty bits); access timing is
+ * applied by the core/hierarchy layers.
+ */
+
+#ifndef HETSIM_CACHE_CACHE_HH
+#define HETSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hetsim::cache
+{
+
+class Cache
+{
+  public:
+    struct Params
+    {
+        std::string name = "cache";
+        std::uint64_t sizeBytes = 32 * 1024;
+        unsigned ways = 2;
+    };
+
+    /** Outcome of an allocation (fill or write-allocate access). */
+    struct Eviction
+    {
+        bool valid = false;   ///< a victim line was evicted
+        Addr lineAddr = kAddrInvalid;
+        bool dirty = false;
+    };
+
+    explicit Cache(const Params &params);
+
+    /** Look up a line; on hit, update LRU and optionally set dirty. */
+    bool access(Addr line_addr, bool mark_dirty);
+
+    /** Tag-only lookup with no LRU side effects. */
+    bool probe(Addr line_addr) const;
+
+    /** Install a line (must not be present); returns the victim. */
+    Eviction fill(Addr line_addr, bool dirty);
+
+    /** Remove a line if present; returns true if it was dirty. */
+    bool invalidate(Addr line_addr, bool *was_present = nullptr);
+
+    const Params &params() const { return params_; }
+    unsigned sets() const { return sets_; }
+
+    const Counter &hits() const { return hits_; }
+    const Counter &misses() const { return misses_; }
+
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+
+    Params params_;
+    unsigned sets_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace hetsim::cache
+
+#endif // HETSIM_CACHE_CACHE_HH

@@ -1,0 +1,63 @@
+#include "cache/prefetcher.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::cache
+{
+
+StridePrefetcher::StridePrefetcher(const Params &params) : params_(params)
+{
+    sim_assert(params_.tableSize > 0, "prefetcher table size");
+    table_.resize(params_.tableSize);
+}
+
+void
+StridePrefetcher::train(std::uint8_t core_id, Addr line_addr,
+                        std::vector<Addr> &out)
+{
+    if (!params_.enabled)
+        return;
+    const auto line = static_cast<std::int64_t>(line_addr >> kLineShift);
+    // One detector stream per (core, 4 KB region).
+    const std::uint64_t region = line_addr >> kPageShift;
+    const std::uint64_t key =
+        region * 31 + static_cast<std::uint64_t>(core_id) * 0x9e3779b9ULL;
+    Entry &e = table_[key % table_.size()];
+
+    if (!e.valid || e.tag != key) {
+        e.valid = true;
+        e.tag = key;
+        e.lastLine = line;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+
+    const std::int64_t delta = line - e.lastLine;
+    e.lastLine = line;
+    if (delta == 0)
+        return;
+    if (delta == e.stride) {
+        if (e.confidence < 255)
+            e.confidence += 1;
+    } else {
+        e.stride = delta;
+        e.confidence = 1;
+        return;
+    }
+
+    if (e.confidence < params_.minConfidence)
+        return;
+
+    triggers_.inc();
+    for (unsigned k = 0; k < params_.degree; ++k) {
+        const std::int64_t target =
+            line + e.stride * static_cast<std::int64_t>(params_.distance +
+                                                        k);
+        if (target < 0)
+            break;
+        out.push_back(static_cast<Addr>(target) << kLineShift);
+    }
+}
+
+} // namespace hetsim::cache

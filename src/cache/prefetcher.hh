@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Stride prefetcher at the shared L2 (paper Section 5: "we also model a
+ * stride prefetcher"; the memory controller prioritises demands over
+ * prefetches unless a prefetch ages past a threshold — that part lives in
+ * dram::SchedulerPolicy).
+ *
+ * Detection is per (core, 4 KB region): a table entry tracks the last
+ * line touched and the current line stride; after `minConfidence`
+ * consecutive confirmations it emits `degree` prefetch candidates ahead
+ * of the stream.
+ */
+
+#ifndef HETSIM_CACHE_PREFETCHER_HH
+#define HETSIM_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hetsim::cache
+{
+
+class StridePrefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned tableSize = 256;  ///< direct-mapped detector entries
+        unsigned degree = 2;       ///< prefetches issued per trigger
+        /** Lines of lead ahead of the demand stream; covering a stream
+         *  requires distance x inter-line demand gap > memory latency. */
+        unsigned distance = 4;
+        unsigned minConfidence = 2;
+        bool enabled = true;
+    };
+
+    explicit StridePrefetcher(const Params &params);
+
+    /**
+     * Train on a demand L2 access and append prefetch candidate line
+     * addresses to @p out (the caller filters against cache/MSHR
+     * contents and queue space).
+     */
+    void train(std::uint8_t core_id, Addr line_addr,
+               std::vector<Addr> &out);
+
+    const Counter &issued() const { return issued_; }
+    void noteIssued() { issued_.inc(); }
+    const Counter &triggers() const { return triggers_; }
+
+    bool enabled() const { return params_.enabled; }
+
+    void
+    resetStats()
+    {
+        issued_.reset();
+        triggers_.reset();
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::int64_t lastLine = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    Params params_;
+    std::vector<Entry> table_;
+
+    Counter issued_;
+    Counter triggers_;
+};
+
+} // namespace hetsim::cache
+
+#endif // HETSIM_CACHE_PREFETCHER_HH

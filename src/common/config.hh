@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tiny key=value configuration store used to parameterise examples and
+ * bench binaries from the command line and the environment.
+ *
+ * Keys are dotted strings ("sim.reads", "mem.channels").  Values are
+ * stored as strings and converted on access with strict validation; a
+ * malformed value is a user error and raises fatal().
+ */
+
+#ifndef HETSIM_COMMON_CONFIG_HH
+#define HETSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetsim
+{
+
+class Config
+{
+  public:
+    /** Set/overwrite one key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Parse "key=value" tokens (e.g. from argv); other tokens are
+     *  returned untouched for the caller to interpret. */
+    std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+    /** Import HETSIM_* environment variables: HETSIM_FOO_BAR -> foo.bar. */
+    void importEnvironment();
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** All keys, for dump/debug. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::map<std::string, std::string> entries_;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_CONFIG_HH

@@ -1,0 +1,57 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace hetsim
+{
+
+namespace
+{
+bool throwOnError = false;
+}
+
+void
+setLogThrowOnError(bool enable)
+{
+    throwOnError = enable;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    if (throwOnError)
+        throw SimError{msg};
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    if (throwOnError)
+        throw SimError{msg};
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace hetsim

@@ -1,0 +1,89 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hetsim
+{
+
+void
+Histogram::sample(double v)
+{
+    sim_assert(v >= 0.0, "histogram samples must be non-negative, got ", v);
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    counts_[idx] += 1;
+    total_ += 1;
+    sum_ += v;
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    sim_assert(fraction >= 0.0 && fraction <= 1.0,
+               "percentile fraction out of range: ", fraction);
+    if (total_ == 0)
+        return 0.0;
+    const double target = fraction * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            const double inside =
+                counts_[i] ? (target - cum) / counts_[i] : 0.0;
+            return (static_cast<double>(i) + inside) * width_;
+        }
+        cum = next;
+    }
+    return width_ * counts_.size();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+void
+StatGroup::addCounter(const std::string &stat, const Counter *c)
+{
+    sim_assert(c, "null counter registered as ", stat);
+    counters_[stat] = c;
+}
+
+void
+StatGroup::addAverage(const std::string &stat, const Average *a)
+{
+    sim_assert(a, "null average registered as ", stat);
+    averages_[stat] = a;
+}
+
+std::string
+StatGroup::render() const
+{
+    std::ostringstream os;
+    for (const auto &[stat, c] : counters_)
+        os << name_ << "." << stat << " " << c->value() << "\n";
+    for (const auto &[stat, a] : averages_)
+        os << name_ << "." << stat << " " << a->mean() << "\n";
+    return os.str();
+}
+
+std::map<std::string, double>
+StatGroup::values() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[stat, c] : counters_)
+        out[stat] = static_cast<double>(c->value());
+    for (const auto &[stat, a] : averages_)
+        out[stat] = a->mean();
+    return out;
+}
+
+} // namespace hetsim

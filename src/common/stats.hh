@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, averages, and
+ * fixed-bucket histograms, grouped into named registries for reporting.
+ *
+ * Unlike gem5's stats package there is no global database; each component
+ * owns a StatGroup and the simulator stitches reports together.  All stats
+ * support snapshot/delta so a measurement window can exclude warmup.
+ */
+
+#ifndef HETSIM_COMMON_STATS_HH
+#define HETSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetsim
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void inc() { value_ += 1; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running sum/count pair exposing a mean. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-width bucket histogram over [0, bucketWidth * buckets); samples
+ * beyond the top bucket are clamped into it.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width, unsigned buckets)
+        : width_(bucket_width), counts_(buckets, 0)
+    {
+    }
+
+    void sample(double v);
+
+    std::uint64_t bucket(unsigned i) const { return counts_.at(i); }
+    unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }
+    double bucketWidth() const { return width_; }
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+    /** Value below which @p fraction (0..1) of the samples fall,
+     *  interpolated within the containing bucket. */
+    double percentile(double fraction) const;
+
+    void reset();
+
+  private:
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics for one component.
+ *
+ * Components register references to their counters/averages once; the
+ * group renders them for reports and supports window snapshots.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &stat, const Counter *c);
+    void addAverage(const std::string &stat, const Average *a);
+
+    const std::string &name() const { return name_; }
+
+    /** Render "group.stat value" lines. */
+    std::string render() const;
+
+    /** Map of stat name -> current scalar value (mean for averages). */
+    std::map<std::string, double> values() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Average *> averages_;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_STATS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by all hetsim modules.
+ *
+ * The global simulation clock ticks once per CPU cycle (3.2 GHz in the
+ * paper's configuration).  Memory controllers run on divided clocks; see
+ * dram::DeviceParams for the ns -> memory-cycle conversion helpers.
+ */
+
+#ifndef HETSIM_COMMON_TYPES_HH
+#define HETSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace hetsim
+{
+
+/** Global simulation time, in CPU cycles. */
+using Tick = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled" / "never". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Cache-line geometry used throughout (the paper's 64 B lines). */
+constexpr unsigned kLineBytes = 64;
+constexpr unsigned kLineShift = 6;
+/** 64-bit words per cache line. */
+constexpr unsigned kWordsPerLine = 8;
+constexpr unsigned kWordBytes = 8;
+constexpr unsigned kWordShift = 3;
+
+/** Align @p addr down to its cache-line base. */
+constexpr Addr
+lineBase(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Word index (0..7) of @p addr within its cache line. */
+constexpr unsigned
+wordOfLine(Addr addr)
+{
+    return static_cast<unsigned>((addr >> kWordShift) &
+                                 (kWordsPerLine - 1));
+}
+
+/** 4 KB OS pages, used by the page-placement comparison policy. */
+constexpr unsigned kPageShift = 12;
+
+constexpr Addr
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** Kinds of memory traffic seen by the memory system. */
+enum class AccessType : std::uint8_t {
+    Read,       ///< demand load fill
+    Write,      ///< dirty-line writeback
+    Prefetch,   ///< hardware prefetch fill
+};
+
+/** Where in the hierarchy an access was satisfied. */
+enum class HitLevel : std::uint8_t { L1, L2, Memory };
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_TYPES_HH

@@ -1,0 +1,58 @@
+#include "core/agg_channel.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::cwf
+{
+
+AggregatedFastChannel::AggregatedFastChannel(
+    const dram::DeviceParams &device, unsigned sub_channels,
+    unsigned ranks_per_sub, unsigned chips_per_rank,
+    dram::SchedulerPolicy policy, bool shared_command_bus)
+    : arbiter_(device.clockDivider)
+{
+    sim_assert(sub_channels > 0, "aggregated channel needs sub-channels");
+    for (unsigned s = 0; s < sub_channels; ++s) {
+        auto sub = std::make_unique<dram::Channel>(
+            "fast." + std::to_string(s), device, ranks_per_sub, policy,
+            shared_command_bus ? &arbiter_ : nullptr);
+        sub->setChipsPerRank(chips_per_rank);
+        subs_.push_back(std::move(sub));
+    }
+}
+
+void
+AggregatedFastChannel::setCallback(dram::Channel::RespCallback cb)
+{
+    for (auto &sub : subs_)
+        sub->setCallback(cb);
+}
+
+void
+AggregatedFastChannel::tick(Tick now)
+{
+    const unsigned n = subChannels();
+    for (unsigned i = 0; i < n; ++i)
+        subs_[(rotate_ + i) % n]->tick(now);
+    rotate_ = (rotate_ + 1) % n;
+}
+
+bool
+AggregatedFastChannel::idle() const
+{
+    for (const auto &sub : subs_) {
+        if (!sub->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+AggregatedFastChannel::resetStats(Tick now)
+{
+    for (auto &sub : subs_)
+        sub->resetStats(now);
+    arbiter_.resetStats();
+}
+
+} // namespace hetsim::cwf

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The paper's aggregated critical-word channel (Section 4.2.4 /
+ * Fig. 5c): four 9-bit sub-ranked RLDRAM data channels, each with four
+ * single-chip x9 ranks, driven by ONE memory controller over ONE shared
+ * double-pumped 38-bit address/command bus.
+ *
+ * A word transfer occupies a sub-channel's data bus for eight clock
+ * edges but the shared command bus for only two, so the 4:1 aggregation
+ * is nominally contention-free; under high memory pressure (mcf, milc,
+ * lbm) the shared bus becomes the bottleneck, which the AddrBusArbiter
+ * makes observable (Section 6.1.2).
+ */
+
+#ifndef HETSIM_CORE_AGG_CHANNEL_HH
+#define HETSIM_CORE_AGG_CHANNEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/channel.hh"
+
+namespace hetsim::cwf
+{
+
+class AggregatedFastChannel
+{
+  public:
+    /**
+     * @param shared_command_bus  true: one double-pumped addr/cmd bus
+     *        serves all sub-channels (Fig. 5c, the optimised design);
+     *        false: each sub-channel has its own bus (Fig. 5b, four
+     *        controllers — the ablation baseline).
+     */
+    AggregatedFastChannel(const dram::DeviceParams &device,
+                          unsigned sub_channels, unsigned ranks_per_sub,
+                          unsigned chips_per_rank,
+                          dram::SchedulerPolicy policy,
+                          bool shared_command_bus = true);
+
+    unsigned subChannels() const
+    {
+        return static_cast<unsigned>(subs_.size());
+    }
+
+    dram::Channel &sub(unsigned i) { return *subs_.at(i); }
+    const dram::Channel &sub(unsigned i) const { return *subs_.at(i); }
+
+    dram::AddrBusArbiter &arbiter() { return arbiter_; }
+    const dram::AddrBusArbiter &arbiter() const { return arbiter_; }
+
+    void setCallback(dram::Channel::RespCallback cb);
+
+    /** Tick all sub-channels; the starting sub-channel rotates each
+     *  memory cycle so shared-bus grants stay fair. */
+    void tick(Tick now);
+
+    bool idle() const;
+    void resetStats(Tick now);
+
+  private:
+    dram::AddrBusArbiter arbiter_;
+    std::vector<std::unique_ptr<dram::Channel>> subs_;
+    unsigned rotate_ = 0;
+};
+
+} // namespace hetsim::cwf
+
+#endif // HETSIM_CORE_AGG_CHANNEL_HH

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * CwfHeteroMemory: the paper's critical-word-first heterogeneous memory
+ * controller (Sections 4.2.2-4.2.4).  An LLC miss creates two
+ * transactions — the critical-word fragment on the aggregated fast
+ * channel and the rest-of-line+ECC fragment on the slow channel — whose
+ * completions are matched back up here and reported to the hierarchy's
+ * MSHRs.
+ */
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/hetero_memory.hh"
+#include "power/chip_power.hh"
+
+namespace hetsim::cwf
+{
+
+CwfHeteroMemory::CwfHeteroMemory(const Params &params,
+                                 std::unique_ptr<LineLayout> layout)
+    : params_(params), layout_(std::move(layout)),
+      slowMap_(dram::MapScheme::OpenPage, params.slowChannels,
+               params.ranksPerSlowChannel, params.slowDevice.banksPerRank,
+               params.slowDevice.rowsPerBank,
+               params.slowDevice.lineColsPerRow),
+      // Within one fast sub-channel the word-granularity close-page map
+      // spreads consecutive lines over ranks then banks for parallelism.
+      fastSubMap_(dram::MapScheme::ClosePage, 1, params.ranksPerFastSub,
+                  params.fastDevice.banksPerRank,
+                  params.fastDevice.rowsPerBank,
+                  params.fastDevice.lineColsPerRow),
+      fast_(params.fastDevice, params.fastSubChannels,
+            params.ranksPerFastSub, params.fastChipsPerRank, params.sched,
+            params.sharedCommandBus),
+      rng_(params.seed)
+{
+    sim_assert(layout_, "CWF memory needs a line layout");
+    sim_assert(params_.slowChannels == params_.fastSubChannels,
+               "one fast sub-channel per slow channel (Fig. 5c)");
+    for (unsigned c = 0; c < params_.slowChannels; ++c) {
+        auto chan = std::make_unique<dram::Channel>(
+            params_.configName + ".slow" + std::to_string(c),
+            params_.slowDevice, params_.ranksPerSlowChannel, params_.sched);
+        chan->setChipsPerRank(params_.slowChipsPerRank);
+        slow_.push_back(std::move(chan));
+    }
+}
+
+void
+CwfHeteroMemory::setCallbacks(Callbacks callbacks)
+{
+    cb_ = std::move(callbacks);
+    for (auto &chan : slow_) {
+        chan->setCallback(
+            [this](dram::MemRequest &req) { onSlowResponse(req); });
+    }
+    fast_.setCallback(
+        [this](dram::MemRequest &req) { onFastResponse(req); });
+}
+
+unsigned
+CwfHeteroMemory::plannedCriticalWord(Addr line_addr,
+                                     unsigned requested_word,
+                                     bool is_demand)
+{
+    return layout_->plannedWord(line_addr, requested_word, is_demand);
+}
+
+unsigned
+CwfHeteroMemory::fastSubOf(std::uint64_t line_index) const
+{
+    // The fast sub-channel shadows the slow channel of the same line so
+    // both fragments enjoy the same channel-level interleaving.
+    return static_cast<unsigned>(line_index % params_.fastSubChannels);
+}
+
+dram::DramCoord
+CwfHeteroMemory::fastCoordOf(std::uint64_t line_index) const
+{
+    const unsigned sub = fastSubOf(line_index);
+    dram::DramCoord coord =
+        fastSubMap_.decode(line_index / params_.fastSubChannels);
+    coord.channel = static_cast<std::uint8_t>(sub);
+    return coord;
+}
+
+bool
+CwfHeteroMemory::canAcceptFill(Addr line_addr) const
+{
+    const std::uint64_t line = line_addr >> kLineShift;
+    const unsigned slow_ch = slowMap_.channelOf(line);
+    const unsigned sub = fastSubOf(line);
+    return slow_[slow_ch]->canAccept(AccessType::Read) &&
+           fast_.sub(sub).canAccept(AccessType::Read);
+}
+
+void
+CwfHeteroMemory::requestFill(const FillRequest &request, Tick now)
+{
+    const std::uint64_t line = request.lineAddr >> kLineShift;
+    const AccessType type =
+        request.isPrefetch ? AccessType::Prefetch : AccessType::Read;
+
+    pending_.emplace(request.mshrId, PendingFill{});
+
+    dram::MemRequest slow_req;
+    slow_req.id = nextReqId_++;
+    slow_req.lineAddr = request.lineAddr;
+    slow_req.type = type;
+    slow_req.coreId = request.coreId;
+    slow_req.cookie = request.mshrId;
+    slow_req.part = dram::MemRequest::kRestPart;
+    slow_req.coord = slowMap_.decode(line);
+    slow_[slow_req.coord.channel]->enqueue(slow_req, now);
+
+    dram::MemRequest fast_req;
+    fast_req.id = nextReqId_++;
+    fast_req.lineAddr = request.lineAddr;
+    fast_req.type = type;
+    fast_req.coreId = request.coreId;
+    fast_req.cookie = request.mshrId;
+    fast_req.part = dram::MemRequest::kCriticalPart;
+    fast_req.coord = fastCoordOf(line);
+    fast_.sub(fast_req.coord.channel).enqueue(fast_req, now);
+}
+
+bool
+CwfHeteroMemory::canAcceptWriteback(Addr line_addr) const
+{
+    const std::uint64_t line = line_addr >> kLineShift;
+    const unsigned slow_ch = slowMap_.channelOf(line);
+    const unsigned sub = fastSubOf(line);
+    return slow_[slow_ch]->canAccept(AccessType::Write) &&
+           fast_.sub(sub).canAccept(AccessType::Write);
+}
+
+void
+CwfHeteroMemory::requestWriteback(Addr line_addr, Tick now)
+{
+    // A dirty writeback is the moment adaptive layouts re-organise the
+    // line (Section 4.2.5).
+    layout_->onWriteback(line_addr);
+
+    const std::uint64_t line = line_addr >> kLineShift;
+
+    dram::MemRequest slow_req;
+    slow_req.id = nextReqId_++;
+    slow_req.lineAddr = line_addr;
+    slow_req.type = AccessType::Write;
+    slow_req.part = dram::MemRequest::kRestPart;
+    slow_req.coord = slowMap_.decode(line);
+    slow_[slow_req.coord.channel]->enqueue(slow_req, now);
+
+    dram::MemRequest fast_req;
+    fast_req.id = nextReqId_++;
+    fast_req.lineAddr = line_addr;
+    fast_req.type = AccessType::Write;
+    fast_req.part = dram::MemRequest::kCriticalPart;
+    fast_req.coord = fastCoordOf(line);
+    fast_.sub(fast_req.coord.channel).enqueue(fast_req, now);
+}
+
+void
+CwfHeteroMemory::onSlowResponse(dram::MemRequest &req)
+{
+    if (!req.isRead())
+        return;
+    const auto it = pending_.find(req.cookie);
+    sim_assert(it != pending_.end(), "slow response without pending fill");
+    PendingFill &p = it->second;
+    sim_assert(!p.slowDone, "duplicate slow fragment");
+    p.slowDone = true;
+    p.slowTick = req.complete;
+    slowLatency_.sample(static_cast<double>(req.totalLatency()));
+    maybeComplete(req.cookie, p);
+}
+
+void
+CwfHeteroMemory::onFastResponse(dram::MemRequest &req)
+{
+    if (!req.isRead())
+        return;
+    const auto it = pending_.find(req.cookie);
+    sim_assert(it != pending_.end(), "fast response without pending fill");
+    PendingFill &p = it->second;
+    sim_assert(!p.fastDone, "duplicate fast fragment");
+    p.fastDone = true;
+    p.fastTick = req.complete;
+    fastLatency_.sample(static_cast<double>(req.totalLatency()));
+
+    bool parity_ok = true;
+    if (params_.parityErrorRate > 0 &&
+        rng_.chance(params_.parityErrorRate)) {
+        parity_ok = false;
+        parityErrors_.inc();
+    }
+    if (cb_.criticalArrived)
+        cb_.criticalArrived(req.cookie, p.fastTick, parity_ok);
+    maybeComplete(req.cookie, p);
+}
+
+void
+CwfHeteroMemory::maybeComplete(std::uint64_t mshr_id, PendingFill &pending)
+{
+    if (!pending.fastDone || !pending.slowDone)
+        return;
+    const Tick done = std::max(pending.fastTick, pending.slowTick);
+    pending_.erase(mshr_id);
+    if (cb_.lineCompleted)
+        cb_.lineCompleted(mshr_id, done);
+}
+
+void
+CwfHeteroMemory::tick(Tick now)
+{
+    for (auto &chan : slow_)
+        chan->tick(now);
+    fast_.tick(now);
+}
+
+bool
+CwfHeteroMemory::idle() const
+{
+    if (!fast_.idle() || !pending_.empty())
+        return false;
+    return std::all_of(slow_.begin(), slow_.end(),
+                       [](const auto &c) { return c->idle(); });
+}
+
+void
+CwfHeteroMemory::resetStats(Tick now)
+{
+    for (auto &chan : slow_)
+        chan->resetStats(now);
+    fast_.resetStats(now);
+    fastLatency_.reset();
+    slowLatency_.reset();
+    parityErrors_.reset();
+}
+
+double
+CwfHeteroMemory::dramPowerMw(Tick) const
+{
+    std::vector<const dram::Channel *> views;
+    for (const auto &chan : slow_)
+        views.push_back(chan.get());
+    for (unsigned s = 0; s < fast_.subChannels(); ++s)
+        views.push_back(&fast_.sub(s));
+    return aggregatePowerMw(views);
+}
+
+double
+CwfHeteroMemory::busUtilization(Tick now) const
+{
+    // The slow channels carry 7/8ths of every line plus ECC; they are
+    // the system's principal data path and define "bus utilization" for
+    // the Fig. 11 analysis.
+    double sum = 0;
+    for (const auto &chan : slow_)
+        sum += chan->busUtilization(now);
+    return sum / static_cast<double>(slow_.size());
+}
+
+double
+CwfHeteroMemory::rowHitRate() const
+{
+    // Row hits only exist on the open-page slow channels.
+    std::vector<const dram::Channel *> views;
+    for (const auto &chan : slow_)
+        views.push_back(chan.get());
+    return aggregateRowHitRate(views);
+}
+
+LatencySplit
+CwfHeteroMemory::latencySplit() const
+{
+    std::vector<const dram::Channel *> views;
+    for (const auto &chan : slow_)
+        views.push_back(chan.get());
+    for (unsigned s = 0; s < fast_.subChannels(); ++s)
+        views.push_back(&fast_.sub(s));
+    return aggregateLatency(views);
+}
+
+} // namespace hetsim::cwf

@@ -1,0 +1,386 @@
+#include "core/hetero_memory.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "power/chip_power.hh"
+
+namespace hetsim::cwf
+{
+
+double
+aggregatePowerMw(const std::vector<const dram::Channel *> &channels)
+{
+    double total_pj = 0;
+    double window_ns = 0;
+    for (const dram::Channel *chan : channels) {
+        const power::ChipPowerModel model(chan->params());
+        auto activities =
+            const_cast<dram::Channel *>(chan)->collectActivity(false);
+        for (const auto &act : activities) {
+            total_pj += model.rankEnergyPj(act, chan->chipsPerRank());
+            window_ns = std::max(
+                window_ns,
+                static_cast<double>(act.windowTicks) * dram::kTickNs);
+        }
+    }
+    return window_ns > 0 ? total_pj / window_ns : 0.0;
+}
+
+LatencySplit
+aggregateLatency(const std::vector<const dram::Channel *> &channels)
+{
+    LatencySplit split;
+    double queue_sum = 0, service_sum = 0, total_sum = 0;
+    std::uint64_t count = 0;
+    for (const dram::Channel *chan : channels) {
+        const auto &s = chan->stats();
+        queue_sum += s.queueLatency.sum();
+        service_sum += s.serviceLatency.sum();
+        total_sum += s.totalLatency.sum();
+        count += s.queueLatency.count();
+    }
+    if (count == 0)
+        return split;
+    split.queueTicks = queue_sum / static_cast<double>(count);
+    split.serviceTicks = service_sum / static_cast<double>(count);
+    split.totalTicks = total_sum / static_cast<double>(count);
+    return split;
+}
+
+double
+aggregateRowHitRate(const std::vector<const dram::Channel *> &channels)
+{
+    std::uint64_t hits = 0, misses = 0;
+    for (const dram::Channel *chan : channels) {
+        hits += chan->stats().rowHits.value();
+        misses += chan->stats().rowMisses.value();
+    }
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+}
+
+// ---------------------- HomogeneousMemory ----------------------------
+
+HomogeneousMemory::HomogeneousMemory(const Params &params)
+    : params_(params),
+      name_(std::string("Homogeneous-") + dram::toString(params.device.kind)),
+      map_(params.device.policy == dram::PagePolicy::Open
+               ? dram::MapScheme::OpenPage
+               : dram::MapScheme::ClosePage,
+           params.channels, params.ranksPerChannel,
+           params.device.banksPerRank, params.device.rowsPerBank,
+           params.device.lineColsPerRow)
+{
+    for (unsigned c = 0; c < params_.channels; ++c) {
+        channels_.push_back(std::make_unique<dram::Channel>(
+            name_ + ".ch" + std::to_string(c), params_.device,
+            params_.ranksPerChannel, params_.sched));
+    }
+}
+
+void
+HomogeneousMemory::setCallbacks(Callbacks callbacks)
+{
+    cb_ = std::move(callbacks);
+    for (auto &chan : channels_) {
+        chan->setCallback([this](dram::MemRequest &req) {
+            if (req.isRead() && cb_.lineCompleted)
+                cb_.lineCompleted(req.cookie, req.complete);
+        });
+    }
+}
+
+bool
+HomogeneousMemory::canAcceptFill(Addr line_addr) const
+{
+    const unsigned ch = map_.channelOf(line_addr >> kLineShift);
+    return channels_[ch]->canAccept(AccessType::Read);
+}
+
+void
+HomogeneousMemory::requestFill(const FillRequest &request, Tick now)
+{
+    dram::MemRequest req;
+    req.id = nextReqId_++;
+    req.lineAddr = request.lineAddr;
+    req.type = request.isPrefetch ? AccessType::Prefetch
+                                  : AccessType::Read;
+    req.coreId = request.coreId;
+    req.cookie = request.mshrId;
+    req.coord = map_.decode(request.lineAddr >> kLineShift);
+    channels_[req.coord.channel]->enqueue(req, now);
+}
+
+bool
+HomogeneousMemory::canAcceptWriteback(Addr line_addr) const
+{
+    const unsigned ch = map_.channelOf(line_addr >> kLineShift);
+    return channels_[ch]->canAccept(AccessType::Write);
+}
+
+void
+HomogeneousMemory::requestWriteback(Addr line_addr, Tick now)
+{
+    dram::MemRequest req;
+    req.id = nextReqId_++;
+    req.lineAddr = line_addr;
+    req.type = AccessType::Write;
+    req.coord = map_.decode(line_addr >> kLineShift);
+    channels_[req.coord.channel]->enqueue(req, now);
+}
+
+void
+HomogeneousMemory::tick(Tick now)
+{
+    lastNow_ = now;
+    for (auto &chan : channels_)
+        chan->tick(now);
+}
+
+bool
+HomogeneousMemory::idle() const
+{
+    return std::all_of(channels_.begin(), channels_.end(),
+                       [](const auto &c) { return c->idle(); });
+}
+
+std::vector<const dram::Channel *>
+HomogeneousMemory::channelViews() const
+{
+    std::vector<const dram::Channel *> v;
+    for (const auto &chan : channels_)
+        v.push_back(chan.get());
+    return v;
+}
+
+void
+HomogeneousMemory::resetStats(Tick now)
+{
+    for (auto &chan : channels_)
+        chan->resetStats(now);
+}
+
+double
+HomogeneousMemory::dramPowerMw(Tick) const
+{
+    return aggregatePowerMw(channelViews());
+}
+
+double
+HomogeneousMemory::busUtilization(Tick now) const
+{
+    double sum = 0;
+    for (const auto &chan : channels_)
+        sum += chan->busUtilization(now);
+    return sum / static_cast<double>(channels_.size());
+}
+
+LatencySplit
+HomogeneousMemory::latencySplit() const
+{
+    return aggregateLatency(channelViews());
+}
+
+double
+HomogeneousMemory::rowHitRate() const
+{
+    return aggregateRowHitRate(channelViews());
+}
+
+// ---------------------- PagePlacementMemory --------------------------
+
+PagePlacementMemory::PagePlacementMemory(
+    const Params &params, std::unordered_set<std::uint64_t> hot_pages)
+    : params_(params), hotPages_(std::move(hot_pages)),
+      slowMap_(dram::MapScheme::OpenPage, params.slowChannels,
+               params.ranksPerSlowChannel, params.slowDevice.banksPerRank,
+               params.slowDevice.rowsPerBank,
+               params.slowDevice.lineColsPerRow),
+      fastMap_(dram::MapScheme::ClosePage, 1, 1,
+               params.fastDevice.banksPerRank,
+               params.fastDevice.rowsPerBank,
+               params.fastDevice.lineColsPerRow)
+{
+    for (unsigned c = 0; c < params_.slowChannels; ++c) {
+        slow_.push_back(std::make_unique<dram::Channel>(
+            "pp.slow" + std::to_string(c), params_.slowDevice,
+            params_.ranksPerSlowChannel, params_.sched));
+    }
+    fastChannel_ = std::make_unique<dram::Channel>(
+        "pp.fast", params_.fastDevice, 1, params_.sched);
+}
+
+std::unordered_set<std::uint64_t>
+PagePlacementMemory::selectHotPages(
+    const std::unordered_map<std::uint64_t, std::uint64_t> &counts,
+    std::size_t budget_pages)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+        counts.begin(), counts.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
+              });
+    std::unordered_set<std::uint64_t> hot;
+    for (const auto &[page, count] : sorted) {
+        if (hot.size() >= budget_pages)
+            break;
+        (void)count;
+        hot.insert(page);
+    }
+    return hot;
+}
+
+bool
+PagePlacementMemory::isHot(Addr line_addr) const
+{
+    return hotPages_.count(pageOf(line_addr)) != 0;
+}
+
+dram::MemRequest
+PagePlacementMemory::makeRequest(Addr line_addr, AccessType type,
+                                 std::uint64_t cookie)
+{
+    dram::MemRequest req;
+    req.id = nextReqId_++;
+    req.lineAddr = line_addr;
+    req.type = type;
+    req.cookie = cookie;
+    const std::uint64_t line = line_addr >> kLineShift;
+    if (isHot(line_addr)) {
+        req.coord = fastMap_.decode(line);
+        req.coord.channel = static_cast<std::uint8_t>(params_.slowChannels);
+    } else {
+        req.coord = slowMap_.decode(line);
+    }
+    return req;
+}
+
+void
+PagePlacementMemory::setCallbacks(Callbacks callbacks)
+{
+    cb_ = std::move(callbacks);
+    auto respond = [this](dram::MemRequest &req) {
+        if (req.isRead() && cb_.lineCompleted)
+            cb_.lineCompleted(req.cookie, req.complete);
+    };
+    for (auto &chan : slow_)
+        chan->setCallback(respond);
+    fastChannel_->setCallback(respond);
+}
+
+bool
+PagePlacementMemory::canAcceptFill(Addr line_addr) const
+{
+    if (isHot(line_addr))
+        return fastChannel_->canAccept(AccessType::Read);
+    const unsigned ch = slowMap_.channelOf(line_addr >> kLineShift);
+    return slow_[ch]->canAccept(AccessType::Read);
+}
+
+void
+PagePlacementMemory::requestFill(const FillRequest &request, Tick now)
+{
+    dram::MemRequest req = makeRequest(
+        request.lineAddr,
+        request.isPrefetch ? AccessType::Prefetch : AccessType::Read,
+        request.mshrId);
+    req.coreId = request.coreId;
+    if (isHot(request.lineAddr)) {
+        fastAccesses_.inc();
+        fastChannel_->enqueue(req, now);
+    } else {
+        slowAccesses_.inc();
+        slow_[req.coord.channel]->enqueue(req, now);
+    }
+}
+
+bool
+PagePlacementMemory::canAcceptWriteback(Addr line_addr) const
+{
+    if (isHot(line_addr))
+        return fastChannel_->canAccept(AccessType::Write);
+    const unsigned ch = slowMap_.channelOf(line_addr >> kLineShift);
+    return slow_[ch]->canAccept(AccessType::Write);
+}
+
+void
+PagePlacementMemory::requestWriteback(Addr line_addr, Tick now)
+{
+    dram::MemRequest req =
+        makeRequest(line_addr, AccessType::Write, /*cookie=*/0);
+    if (isHot(line_addr))
+        fastChannel_->enqueue(req, now);
+    else
+        slow_[req.coord.channel]->enqueue(req, now);
+}
+
+void
+PagePlacementMemory::tick(Tick now)
+{
+    for (auto &chan : slow_)
+        chan->tick(now);
+    fastChannel_->tick(now);
+}
+
+bool
+PagePlacementMemory::idle() const
+{
+    if (!fastChannel_->idle())
+        return false;
+    return std::all_of(slow_.begin(), slow_.end(),
+                       [](const auto &c) { return c->idle(); });
+}
+
+std::vector<const dram::Channel *>
+PagePlacementMemory::channelViews() const
+{
+    std::vector<const dram::Channel *> v;
+    for (const auto &chan : slow_)
+        v.push_back(chan.get());
+    v.push_back(fastChannel_.get());
+    return v;
+}
+
+void
+PagePlacementMemory::resetStats(Tick now)
+{
+    for (auto &chan : slow_)
+        chan->resetStats(now);
+    fastChannel_->resetStats(now);
+    fastAccesses_.reset();
+    slowAccesses_.reset();
+}
+
+double
+PagePlacementMemory::dramPowerMw(Tick) const
+{
+    return aggregatePowerMw(channelViews());
+}
+
+double
+PagePlacementMemory::busUtilization(Tick now) const
+{
+    double sum = 0;
+    for (const auto &chan : slow_)
+        sum += chan->busUtilization(now);
+    sum += fastChannel_->busUtilization(now);
+    return sum / static_cast<double>(slow_.size() + 1);
+}
+
+LatencySplit
+PagePlacementMemory::latencySplit() const
+{
+    return aggregateLatency(channelViews());
+}
+
+double
+PagePlacementMemory::rowHitRate() const
+{
+    return aggregateRowHitRate(channelViews());
+}
+
+} // namespace hetsim::cwf

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Concrete main-memory organisations:
+ *
+ *  - HomogeneousMemory: N identical channels of one device type (the
+ *    DDR3 baseline and the all-RLDRAM3 / all-LPDDR2 comparison points of
+ *    Fig. 1).
+ *
+ *  - CwfHeteroMemory: the paper's contribution (Fig. 5c).  Each line is
+ *    split: words 1-7 + SECDED ECC on a slow 64-bit channel (LPDDR2 or
+ *    DDR3, 8 chips/rank), the layout-designated critical word + byte
+ *    parity on the aggregated fast channel (x9 sub-ranked RLDRAM3 or
+ *    close-page DDR3).  Fills issue two independent requests; the fast
+ *    fragment wakes waiting loads early (parity permitting) and the
+ *    full line completes when both fragments have arrived.
+ *
+ *  - PagePlacementMemory: the Section 7.1 comparison — whole pages are
+ *    profiled offline and hot pages placed in a 0.5 GB RLDRAM3 channel,
+ *    the rest in three LPDDR2 channels (iso-pin, iso-chip-count).
+ */
+
+#ifndef HETSIM_CORE_HETERO_MEMORY_HH
+#define HETSIM_CORE_HETERO_MEMORY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/agg_channel.hh"
+#include "core/line_layout.hh"
+#include "core/memory_backend.hh"
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+
+namespace hetsim::cwf
+{
+
+/** Average DRAM power over each channel's current stats window, mW. */
+double aggregatePowerMw(const std::vector<const dram::Channel *> &channels);
+
+/** Demand-read latency split pooled over channels. */
+LatencySplit aggregateLatency(
+    const std::vector<const dram::Channel *> &channels);
+
+/** Row-buffer hit fraction pooled over channels. */
+double aggregateRowHitRate(
+    const std::vector<const dram::Channel *> &channels);
+
+// --------------------------------------------------------------------
+
+class HomogeneousMemory : public MemoryBackend
+{
+  public:
+    struct Params
+    {
+        dram::DeviceParams device;
+        unsigned channels = 4;     // Table 1
+        unsigned ranksPerChannel = 1;
+        dram::SchedulerPolicy sched;
+    };
+
+    explicit HomogeneousMemory(const Params &params);
+
+    void setCallbacks(Callbacks callbacks) override;
+    unsigned plannedCriticalWord(Addr, unsigned, bool) override
+    {
+        return kNoFastWord;
+    }
+    bool canAcceptFill(Addr line_addr) const override;
+    void requestFill(const FillRequest &request, Tick now) override;
+    bool canAcceptWriteback(Addr line_addr) const override;
+    void requestWriteback(Addr line_addr, Tick now) override;
+    void tick(Tick now) override;
+    bool idle() const override;
+    void resetStats(Tick now) override;
+    double dramPowerMw(Tick now) const override;
+    double busUtilization(Tick now) const override;
+    LatencySplit latencySplit() const override;
+    double rowHitRate() const override;
+    const char *name() const override { return name_.c_str(); }
+
+    dram::Channel &channel(unsigned i) { return *channels_.at(i); }
+    const dram::AddressMap &addressMap() const { return map_; }
+
+  private:
+    std::vector<const dram::Channel *> channelViews() const;
+
+    Params params_;
+    std::string name_;
+    dram::AddressMap map_;
+    std::vector<std::unique_ptr<dram::Channel>> channels_;
+    Callbacks cb_;
+    std::uint64_t nextReqId_ = 1;
+    Tick lastNow_ = 0;
+};
+
+// --------------------------------------------------------------------
+
+class CwfHeteroMemory : public MemoryBackend
+{
+  public:
+    struct Params
+    {
+        std::string configName = "RL";
+        dram::DeviceParams slowDevice;  ///< words 1-7 + ECC
+        dram::DeviceParams fastDevice;  ///< critical word + parity
+        unsigned slowChannels = 4;
+        unsigned ranksPerSlowChannel = 1;
+        unsigned slowChipsPerRank = 8;   // words 1-7 + ECC (Fig. 5b)
+        unsigned fastSubChannels = 4;
+        unsigned ranksPerFastSub = 4;    // four x9 single-chip ranks
+        unsigned fastChipsPerRank = 1;
+        /** Fig. 5c shared addr/cmd bus; false = Fig. 5b dedicated
+         *  buses (one controller per critical-word channel). */
+        bool sharedCommandBus = true;
+        dram::SchedulerPolicy sched;
+        /** Injected probability that the fast fragment fails parity. */
+        double parityErrorRate = 0.0;
+        std::uint64_t seed = 1;
+    };
+
+    CwfHeteroMemory(const Params &params,
+                    std::unique_ptr<LineLayout> layout);
+
+    void setCallbacks(Callbacks callbacks) override;
+    unsigned plannedCriticalWord(Addr line_addr, unsigned requested_word,
+                                 bool is_demand) override;
+    bool canAcceptFill(Addr line_addr) const override;
+    void requestFill(const FillRequest &request, Tick now) override;
+    bool canAcceptWriteback(Addr line_addr) const override;
+    void requestWriteback(Addr line_addr, Tick now) override;
+    void tick(Tick now) override;
+    bool idle() const override;
+    void resetStats(Tick now) override;
+    double dramPowerMw(Tick now) const override;
+    double busUtilization(Tick now) const override;
+    LatencySplit latencySplit() const override;
+    double rowHitRate() const override;
+    const char *name() const override { return params_.configName.c_str(); }
+
+    LineLayout &layout() { return *layout_; }
+    AggregatedFastChannel &fastChannel() { return fast_; }
+    dram::Channel &slowChannel(unsigned i) { return *slow_.at(i); }
+    unsigned slowChannelCount() const
+    {
+        return static_cast<unsigned>(slow_.size());
+    }
+
+    /** Fast-fragment latency statistics (paper Fig. 7 support). */
+    const Average &fastFragmentLatency() const { return fastLatency_; }
+    const Average &slowFragmentLatency() const { return slowLatency_; }
+    const Counter &parityErrorsInjected() const { return parityErrors_; }
+
+  private:
+    struct PendingFill
+    {
+        bool fastDone = false;
+        bool slowDone = false;
+        Tick fastTick = 0;
+        Tick slowTick = 0;
+    };
+
+    unsigned fastSubOf(std::uint64_t line_index) const;
+    dram::DramCoord fastCoordOf(std::uint64_t line_index) const;
+    void onSlowResponse(dram::MemRequest &req);
+    void onFastResponse(dram::MemRequest &req);
+    void maybeComplete(std::uint64_t mshr_id, PendingFill &pending);
+
+    Params params_;
+    std::unique_ptr<LineLayout> layout_;
+    dram::AddressMap slowMap_;
+    dram::AddressMap fastSubMap_; ///< within one fast sub-channel
+    std::vector<std::unique_ptr<dram::Channel>> slow_;
+    AggregatedFastChannel fast_;
+    Callbacks cb_;
+    Rng rng_;
+    std::uint64_t nextReqId_ = 1;
+
+    std::unordered_map<std::uint64_t, PendingFill> pending_;
+
+    Average fastLatency_;
+    Average slowLatency_;
+    Counter parityErrors_;
+};
+
+// --------------------------------------------------------------------
+
+class PagePlacementMemory : public MemoryBackend
+{
+  public:
+    struct Params
+    {
+        dram::DeviceParams slowDevice;  ///< LPDDR2, 72-bit channels
+        dram::DeviceParams fastDevice;  ///< RLDRAM3, one 0.5 GB channel
+        unsigned slowChannels = 3;
+        unsigned ranksPerSlowChannel = 1;
+        dram::SchedulerPolicy sched;
+    };
+
+    PagePlacementMemory(const Params &params,
+                        std::unordered_set<std::uint64_t> hot_pages);
+
+    void setCallbacks(Callbacks callbacks) override;
+    unsigned plannedCriticalWord(Addr, unsigned, bool) override
+    {
+        return kNoFastWord;
+    }
+    bool canAcceptFill(Addr line_addr) const override;
+    void requestFill(const FillRequest &request, Tick now) override;
+    bool canAcceptWriteback(Addr line_addr) const override;
+    void requestWriteback(Addr line_addr, Tick now) override;
+    void tick(Tick now) override;
+    bool idle() const override;
+    void resetStats(Tick now) override;
+    double dramPowerMw(Tick now) const override;
+    double busUtilization(Tick now) const override;
+    LatencySplit latencySplit() const override;
+    double rowHitRate() const override;
+    const char *name() const override { return "PagePlacement"; }
+
+    const Counter &fastAccesses() const { return fastAccesses_; }
+    const Counter &slowAccesses() const { return slowAccesses_; }
+
+    /** Pick the top pages by access count up to @p budget_pages. */
+    static std::unordered_set<std::uint64_t>
+    selectHotPages(const std::unordered_map<std::uint64_t,
+                                            std::uint64_t> &counts,
+                   std::size_t budget_pages);
+
+  private:
+    bool isHot(Addr line_addr) const;
+    dram::MemRequest makeRequest(Addr line_addr, AccessType type,
+                                 std::uint64_t cookie);
+    std::vector<const dram::Channel *> channelViews() const;
+
+    Params params_;
+    std::unordered_set<std::uint64_t> hotPages_;
+    dram::AddressMap slowMap_;
+    dram::AddressMap fastMap_;
+    std::vector<std::unique_ptr<dram::Channel>> slow_;
+    std::unique_ptr<dram::Channel> fastChannel_;
+    Callbacks cb_;
+    std::uint64_t nextReqId_ = 1;
+
+    Counter fastAccesses_;
+    Counter slowAccesses_;
+};
+
+} // namespace hetsim::cwf
+
+#endif // HETSIM_CORE_HETERO_MEMORY_HH

@@ -1,0 +1,216 @@
+#include "core/hmc_memory.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "core/hetero_memory.hh"
+
+namespace hetsim::cwf
+{
+
+Tick
+SerialLink::send(Tick now, unsigned bytes, bool critical)
+{
+    const Tick occupancy = static_cast<Tick>(
+        std::llround(std::ceil(bytes / ticksPerByte_)));
+    Tick start;
+    if (critical) {
+        // Critical packets only queue behind other critical packets:
+        // the link pauses an in-flight bulk packet's remaining beats
+        // (packet-level preemption, as HMC priority classes allow).
+        start = std::max(now, criticalBusyUntil_);
+        if (start < busyUntil_)
+            bypasses_ += 1;
+        criticalBusyUntil_ = start + occupancy;
+        busyUntil_ = std::max(busyUntil_, criticalBusyUntil_ + occupancy);
+    } else {
+        start = std::max(now, busyUntil_);
+        busyUntil_ = start + occupancy;
+    }
+    packets_ += 1;
+    return start + occupancy + latencyTicks_;
+}
+
+dram::DeviceParams
+HmcLikeMemory::vaultDevice()
+{
+    // A vault behaves like a narrow close-page DRAM slice: DDR3-class
+    // arrays (tRC ~ 45 ns) behind a TSV-attached mini-controller, many
+    // small banks, no row-buffer reuse across requests.
+    dram::DeviceParams dev = dram::DeviceParams::ddr3_1600();
+    dev.name = "HMC vault (DDR3-class arrays, close page)";
+    dev.policy = dram::PagePolicy::Close;
+    dev.tRC = dev.cyc(45.0);
+    dev.banksPerRank = 8;
+    dev.rowsPerBank = 4096;
+    dev.lineColsPerRow = 16;
+    dev.chipsPerRank = 1; // one stacked slice per vault
+    return dev;
+}
+
+HmcLikeMemory::HmcLikeMemory(const Params &params)
+    : params_(params),
+      map_(dram::MapScheme::ClosePage, params.vaults, 1,
+           vaultDevice().banksPerRank, vaultDevice().rowsPerBank,
+           vaultDevice().lineColsPerRow),
+      reqLink_(params.linkLatency, params.linkBytesPerTick),
+      respLink_(params.linkLatency, params.linkBytesPerTick)
+{
+    sim_assert(params_.vaults > 0, "cube needs vaults");
+    const dram::DeviceParams dev = vaultDevice();
+    for (unsigned v = 0; v < params_.vaults; ++v) {
+        vaults_.push_back(std::make_unique<dram::Channel>(
+            "vault." + std::to_string(v), dev, 1, params_.sched));
+    }
+}
+
+void
+HmcLikeMemory::setCallbacks(Callbacks callbacks)
+{
+    cb_ = std::move(callbacks);
+    for (auto &vault : vaults_) {
+        vault->setCallback(
+            [this](dram::MemRequest &req) { onVaultResponse(req); });
+    }
+}
+
+bool
+HmcLikeMemory::canAcceptFill(Addr line_addr) const
+{
+    const unsigned v = map_.channelOf(line_addr >> kLineShift);
+    return vaults_[v]->canAccept(AccessType::Read);
+}
+
+void
+HmcLikeMemory::requestFill(const FillRequest &request, Tick now)
+{
+    dram::MemRequest req;
+    req.id = nextReqId_++;
+    req.lineAddr = request.lineAddr;
+    req.type = request.isPrefetch ? AccessType::Prefetch
+                                  : AccessType::Read;
+    req.coreId = request.coreId;
+    req.cookie = request.mshrId;
+    req.coord = map_.decode(request.lineAddr >> kLineShift);
+    // The request packet (header only) crosses the request link before
+    // the vault controller sees it; model by delaying the enqueue tick.
+    const Tick arrive = reqLink_.send(now, params_.headerBytes, false);
+    vaults_[req.coord.channel]->enqueue(req, std::max(arrive, now));
+}
+
+bool
+HmcLikeMemory::canAcceptWriteback(Addr line_addr) const
+{
+    const unsigned v = map_.channelOf(line_addr >> kLineShift);
+    return vaults_[v]->canAccept(AccessType::Write);
+}
+
+void
+HmcLikeMemory::requestWriteback(Addr line_addr, Tick now)
+{
+    dram::MemRequest req;
+    req.id = nextReqId_++;
+    req.lineAddr = line_addr;
+    req.type = AccessType::Write;
+    req.coord = map_.decode(line_addr >> kLineShift);
+    // Write packet carries header + full line.
+    const Tick arrive =
+        reqLink_.send(now, params_.headerBytes + kLineBytes, false);
+    vaults_[req.coord.channel]->enqueue(req, std::max(arrive, now));
+}
+
+void
+HmcLikeMemory::onVaultResponse(dram::MemRequest &req)
+{
+    if (!req.isRead())
+        return;
+    const Tick done = req.complete;
+    if (params_.criticalFirst) {
+        // Small high-priority packet with the requested word, then the
+        // bulk packet with the whole line.
+        const Tick crit = respLink_.send(
+            done, params_.headerBytes + kWordBytes, true);
+        const Tick full = respLink_.send(
+            done, params_.headerBytes + kLineBytes, false);
+        deliveries_.push(Delivery{crit, req.cookie, true});
+        // The backend contract requires criticalArrived strictly before
+        // lineCompleted; never let the two deliveries tie.
+        deliveries_.push(
+            Delivery{std::max(full, crit + 1), req.cookie, false});
+    } else {
+        const Tick full = respLink_.send(
+            done, params_.headerBytes + kLineBytes, false);
+        deliveries_.push(Delivery{full, req.cookie, false});
+    }
+}
+
+void
+HmcLikeMemory::tick(Tick now)
+{
+    for (auto &vault : vaults_)
+        vault->tick(now);
+    while (!deliveries_.empty() && deliveries_.top().at <= now) {
+        const Delivery d = deliveries_.top();
+        deliveries_.pop();
+        if (d.critical) {
+            if (cb_.criticalArrived)
+                cb_.criticalArrived(d.mshrId, d.at, /*parity_ok=*/true);
+        } else if (cb_.lineCompleted) {
+            cb_.lineCompleted(d.mshrId, d.at);
+        }
+    }
+}
+
+bool
+HmcLikeMemory::idle() const
+{
+    if (!deliveries_.empty())
+        return false;
+    return std::all_of(vaults_.begin(), vaults_.end(),
+                       [](const auto &v) { return v->idle(); });
+}
+
+void
+HmcLikeMemory::resetStats(Tick now)
+{
+    for (auto &vault : vaults_)
+        vault->resetStats(now);
+    reqLink_.resetStats();
+    respLink_.resetStats();
+}
+
+double
+HmcLikeMemory::dramPowerMw(Tick) const
+{
+    std::vector<const dram::Channel *> views;
+    for (const auto &vault : vaults_)
+        views.push_back(vault.get());
+    return aggregatePowerMw(views);
+}
+
+double
+HmcLikeMemory::busUtilization(Tick now) const
+{
+    double sum = 0;
+    for (const auto &vault : vaults_)
+        sum += vault->busUtilization(now);
+    return sum / static_cast<double>(vaults_.size());
+}
+
+LatencySplit
+HmcLikeMemory::latencySplit() const
+{
+    std::vector<const dram::Channel *> views;
+    for (const auto &vault : vaults_)
+        views.push_back(vault.get());
+    return aggregateLatency(views);
+}
+
+double
+HmcLikeMemory::rowHitRate() const
+{
+    return 0.0; // close-page vaults
+}
+
+} // namespace hetsim::cwf

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * HMC-like packetised memory with critical-data-first responses — the
+ * paper's Section 10 future-work sketch: "one could include dies with
+ * different latency/energy properties and the critical data could be
+ * returned in an earlier high-priority packet".
+ *
+ * Model: one cube with V vaults (each vault a close-page DRAM channel
+ * with its own mini-controller, reusing dram::Channel), reached over a
+ * serial request link and answered over a serial response link.  Links
+ * have fixed serialisation latency plus per-packet occupancy
+ * (bytes / link rate).  With the critical-data-first option, a vault's
+ * read response is split into a small high-priority packet carrying the
+ * requested word (16 B header+payload) that bypasses queued bulk
+ * packets, followed by the 80 B full-line packet — the packet-level
+ * analogue of the paper's RLDRAM critical-word channel.
+ */
+
+#ifndef HETSIM_CORE_HMC_MEMORY_HH
+#define HETSIM_CORE_HMC_MEMORY_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/line_layout.hh"
+#include "core/memory_backend.hh"
+#include "dram/address_map.hh"
+#include "dram/channel.hh"
+
+namespace hetsim::cwf
+{
+
+/**
+ * Serial link with fixed latency, per-byte occupancy and two priority
+ * classes (critical packets bypass waiting bulk packets).
+ */
+class SerialLink
+{
+  public:
+    /**
+     * @param latency_ticks  flight time of a packet's first byte
+     * @param ticks_per_byte serialisation cost (link rate)
+     */
+    SerialLink(Tick latency_ticks, double ticks_per_byte)
+        : latencyTicks_(latency_ticks), ticksPerByte_(ticks_per_byte)
+    {
+    }
+
+    /** Schedule a packet; returns its delivery tick. */
+    Tick send(Tick now, unsigned bytes, bool critical);
+
+    std::uint64_t packetsSent() const { return packets_; }
+    std::uint64_t criticalBypasses() const { return bypasses_; }
+    Tick busyUntil() const { return busyUntil_; }
+
+    void
+    resetStats()
+    {
+        packets_ = 0;
+        bypasses_ = 0;
+    }
+
+  private:
+    Tick latencyTicks_;
+    double ticksPerByte_;
+    Tick busyUntil_ = 0;
+    /** End of the most recent *critical* occupancy, so bulk packets
+     *  queue behind criticals but not vice versa. */
+    Tick criticalBusyUntil_ = 0;
+    std::uint64_t packets_ = 0;
+    std::uint64_t bypasses_ = 0;
+};
+
+class HmcLikeMemory : public MemoryBackend
+{
+  public:
+    struct Params
+    {
+        std::string configName = "HMC-CDF";
+        unsigned vaults = 16;
+        /** Critical-data-first response packets (Section 10). */
+        bool criticalFirst = true;
+        /** One-way link flight time, CPU ticks (SerDes + logic layer). */
+        Tick linkLatency = 16; // 5 ns
+        /** Link rate in bytes per tick (e.g. 10 GB/s ~ 3.2 B/tick). */
+        double linkBytesPerTick = 3.2;
+        unsigned headerBytes = 16;
+        dram::SchedulerPolicy sched;
+    };
+
+    explicit HmcLikeMemory(const Params &params);
+
+    void setCallbacks(Callbacks callbacks) override;
+    unsigned plannedCriticalWord(Addr, unsigned requested_word,
+                                 bool) override
+    {
+        // Every requested word rides the priority packet: packetisation
+        // does not need a static layout.
+        return params_.criticalFirst ? requested_word : kNoFastWord;
+    }
+    bool canAcceptFill(Addr line_addr) const override;
+    void requestFill(const FillRequest &request, Tick now) override;
+    bool canAcceptWriteback(Addr line_addr) const override;
+    void requestWriteback(Addr line_addr, Tick now) override;
+    void tick(Tick now) override;
+    bool idle() const override;
+    void resetStats(Tick now) override;
+    double dramPowerMw(Tick now) const override;
+    double busUtilization(Tick now) const override;
+    LatencySplit latencySplit() const override;
+    double rowHitRate() const override;
+    const char *name() const override { return params_.configName.c_str(); }
+
+    const SerialLink &requestLink() const { return reqLink_; }
+    const SerialLink &responseLink() const { return respLink_; }
+    dram::Channel &vault(unsigned i) { return *vaults_.at(i); }
+    unsigned vaultCount() const
+    {
+        return static_cast<unsigned>(vaults_.size());
+    }
+
+    /** Vault-local device model (exposed for tests/benches). */
+    static dram::DeviceParams vaultDevice();
+
+  private:
+    struct Delivery
+    {
+        Tick at;
+        std::uint64_t mshrId;
+        bool critical;
+
+        bool operator>(const Delivery &o) const { return at > o.at; }
+    };
+
+    void onVaultResponse(dram::MemRequest &req);
+
+    Params params_;
+    dram::AddressMap map_;
+    std::vector<std::unique_ptr<dram::Channel>> vaults_;
+    SerialLink reqLink_;
+    SerialLink respLink_;
+    Callbacks cb_;
+    std::uint64_t nextReqId_ = 1;
+
+    std::priority_queue<Delivery, std::vector<Delivery>,
+                        std::greater<Delivery>>
+        deliveries_;
+};
+
+} // namespace hetsim::cwf
+
+#endif // HETSIM_CORE_HMC_MEMORY_HH

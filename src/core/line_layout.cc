@@ -1,0 +1,44 @@
+#include "core/line_layout.hh"
+
+namespace hetsim::cwf
+{
+
+unsigned
+AdaptiveLayout::plannedWord(Addr line_addr, unsigned requested_word,
+                            bool is_demand)
+{
+    if (is_demand) {
+        lastObserved_[line_addr] =
+            static_cast<std::uint8_t>(requested_word);
+    }
+    const auto it = committed_.find(line_addr);
+    return it == committed_.end() ? 0u : it->second;
+}
+
+void
+AdaptiveLayout::onWriteback(Addr line_addr)
+{
+    const auto obs = lastObserved_.find(line_addr);
+    if (obs == lastObserved_.end())
+        return;
+    auto [it, inserted] = committed_.try_emplace(line_addr, obs->second);
+    if (!inserted && it->second != obs->second) {
+        it->second = obs->second;
+        remaps_.inc();
+    } else if (inserted && obs->second != 0) {
+        remaps_.inc();
+    }
+}
+
+unsigned
+RandomLayout::plannedWord(Addr line_addr, unsigned, bool)
+{
+    // splitmix64 finaliser over the line index.
+    std::uint64_t z = (line_addr >> kLineShift) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return static_cast<unsigned>(z & (kWordsPerLine - 1));
+}
+
+} // namespace hetsim::cwf

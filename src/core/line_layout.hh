@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Critical-word placement policies: which of a cache line's eight words
+ * lives on the low-latency (RLDRAM) DIMM.
+ *
+ *  - StaticLayout: always word 0 (the paper's flagship design; word 0 is
+ *    critical for 67 % of fetches across the suite, Section 4.2.2).
+ *  - AdaptiveLayout: per-line 3-bit tag predicting the last observed
+ *    critical word; the layout is re-organised only when a dirty line is
+ *    written back (Section 4.2.5 / RL AD).
+ *  - OracleLayout: every demand fetch finds its critical word on the
+ *    fast DIMM (upper bound, RL OR).
+ *  - RandomLayout: a per-line hash (sanity experiment in Section 6.1.1:
+ *    random mapping yields only ~2 % gains).
+ */
+
+#ifndef HETSIM_CORE_LINE_LAYOUT_HH
+#define HETSIM_CORE_LINE_LAYOUT_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hetsim::cwf
+{
+
+/** Sentinel: line is not fragmented / no fast word. */
+constexpr unsigned kNoFastWord = kWordsPerLine;
+
+class LineLayout
+{
+  public:
+    virtual ~LineLayout() = default;
+
+    /**
+     * Word stored on the fast DIMM for @p line_addr.  Called on every
+     * fill; @p requested_word is the word the CPU asked for and
+     * @p is_demand distinguishes real misses from prefetches (only
+     * demand criticality trains adaptive/oracle policies).
+     */
+    virtual unsigned plannedWord(Addr line_addr, unsigned requested_word,
+                                 bool is_demand) = 0;
+
+    /** A dirty line is being written back; layouts that re-organise data
+     *  commit their prediction now (Section 4.2.5). */
+    virtual void onWriteback(Addr line_addr) { (void)line_addr; }
+
+    virtual const char *name() const = 0;
+};
+
+/** Word 0 always (static CWF). */
+class StaticLayout : public LineLayout
+{
+  public:
+    unsigned
+    plannedWord(Addr, unsigned, bool) override
+    {
+        return 0;
+    }
+
+    const char *name() const override { return "static-word0"; }
+};
+
+/** Per-line last-critical-word prediction, committed on writeback. */
+class AdaptiveLayout : public LineLayout
+{
+  public:
+    unsigned plannedWord(Addr line_addr, unsigned requested_word,
+                         bool is_demand) override;
+    void onWriteback(Addr line_addr) override;
+    const char *name() const override { return "adaptive"; }
+
+    const Counter &remaps() const { return remaps_; }
+    std::size_t trackedLines() const { return committed_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint8_t> committed_;
+    std::unordered_map<Addr, std::uint8_t> lastObserved_;
+    Counter remaps_;
+};
+
+/** Perfect prediction: the requested word is always the fast word. */
+class OracleLayout : public LineLayout
+{
+  public:
+    unsigned
+    plannedWord(Addr, unsigned requested_word, bool is_demand) override
+    {
+        return is_demand ? requested_word : 0;
+    }
+
+    const char *name() const override { return "oracle"; }
+};
+
+/** Deterministic per-line pseudo-random word. */
+class RandomLayout : public LineLayout
+{
+  public:
+    unsigned plannedWord(Addr line_addr, unsigned, bool) override;
+    const char *name() const override { return "random"; }
+};
+
+} // namespace hetsim::cwf
+
+#endif // HETSIM_CORE_LINE_LAYOUT_HH

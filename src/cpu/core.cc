@@ -1,0 +1,135 @@
+#include "cpu/core.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::cpu
+{
+
+Core::Core(std::uint8_t id, const Params &params, OpSource source,
+           cache::Hierarchy &hierarchy)
+    : id_(id), params_(params), source_(std::move(source)),
+      hierarchy_(hierarchy)
+{
+    sim_assert(params_.robSize > 0 && params_.width > 0,
+               "core needs ROB entries and width");
+    sim_assert(source_, "core needs an op source");
+    rob_.resize(params_.robSize);
+}
+
+bool
+Core::lastLoadPending(Tick now) const
+{
+    if (lastLoadSlot_ < 0)
+        return false;
+    const RobEntry &e = rob_[static_cast<unsigned>(lastLoadSlot_)];
+    if (!e.valid || e.seq != lastLoadSeq_)
+        return false; // that load already retired
+    return !e.ready || e.readyAt > now;
+}
+
+void
+Core::tick(Tick now)
+{
+    // ---- retire ----
+    for (unsigned w = 0; w < params_.width && count_ > 0; ++w) {
+        RobEntry &head = rob_[head_];
+        if (!head.ready || head.readyAt > now)
+            break;
+        head.valid = false;
+        head_ = (head_ + 1) % params_.robSize;
+        count_ -= 1;
+        retired_ += 1;
+    }
+
+    // ---- dispatch ----
+    for (unsigned w = 0; w < params_.width; ++w) {
+        if (robFull()) {
+            dispatchStalls_ += 1;
+            break;
+        }
+        workloads::MicroOp op;
+        if (pendingOp_) {
+            op = *pendingOp_;
+        } else {
+            op = source_();
+        }
+
+        if (op.isMem && op.dependsOnPrev && lastLoadPending(now)) {
+            pendingOp_ = op;
+            dispatchStalls_ += 1;
+            break;
+        }
+
+        const std::uint16_t slot = static_cast<std::uint16_t>(tail_);
+        RobEntry entry;
+        entry.valid = true;
+        entry.seq = ++seqCounter_;
+
+        if (!op.isMem) {
+            entry.ready = true;
+            entry.readyAt = now + 1;
+        } else if (op.isWrite) {
+            const auto res = hierarchy_.store(id_, op.addr, now);
+            if (res.outcome == cache::Hierarchy::Outcome::Blocked) {
+                pendingOp_ = op;
+                dispatchStalls_ += 1;
+                break;
+            }
+            entry.ready = true;
+            entry.readyAt = res.readyAt;
+        } else {
+            const auto res = hierarchy_.load(id_, slot, op.addr, now);
+            if (res.outcome == cache::Hierarchy::Outcome::Blocked) {
+                pendingOp_ = op;
+                dispatchStalls_ += 1;
+                break;
+            }
+            entry.isLoad = true;
+            if (res.outcome == cache::Hierarchy::Outcome::Ready) {
+                entry.ready = true;
+                entry.readyAt = res.readyAt;
+            } else {
+                entry.ready = false;
+            }
+            lastLoadSlot_ = static_cast<int>(slot);
+            lastLoadSeq_ = entry.seq;
+        }
+
+        rob_[tail_] = entry;
+        tail_ = (tail_ + 1) % params_.robSize;
+        count_ += 1;
+        pendingOp_.reset();
+    }
+
+    robOccupancySum_ += count_;
+}
+
+void
+Core::wake(std::uint16_t slot, Tick now)
+{
+    RobEntry &entry = rob_[slot];
+    sim_assert(entry.valid && entry.isLoad && !entry.ready,
+               "wake of slot ", slot, " in unexpected state");
+    entry.ready = true;
+    entry.readyAt = now;
+}
+
+void
+Core::resetStats(Tick now)
+{
+    retiredAtWindowStart_ = retired_;
+    windowStart_ = now;
+    robOccupancySum_ = 0;
+    dispatchStalls_ = 0;
+}
+
+double
+Core::ipc(Tick now) const
+{
+    if (now <= windowStart_)
+        return 0.0;
+    return static_cast<double>(retired_ - retiredAtWindowStart_) /
+           static_cast<double>(now - windowStart_);
+}
+
+} // namespace hetsim::cpu

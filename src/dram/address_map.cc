@@ -1,0 +1,71 @@
+#include "dram/address_map.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::dram
+{
+
+AddressMap::AddressMap(MapScheme scheme, unsigned channels, unsigned ranks,
+                       unsigned banks, unsigned rows, unsigned cols)
+    : scheme_(scheme), channels_(channels), ranks_(ranks), banks_(banks),
+      rows_(rows), cols_(cols)
+{
+    sim_assert(channels_ > 0 && ranks_ > 0 && banks_ > 0 && rows_ > 0 &&
+                   cols_ > 0,
+               "address map dimensions must be non-zero");
+}
+
+DramCoord
+AddressMap::decode(std::uint64_t line_index) const
+{
+    DramCoord c;
+    std::uint64_t rest = line_index;
+
+    c.channel = static_cast<std::uint8_t>(rest % channels_);
+    rest /= channels_;
+
+    if (scheme_ == MapScheme::OpenPage) {
+        c.col = static_cast<std::uint32_t>(rest % cols_);
+        rest /= cols_;
+        c.bank = static_cast<std::uint8_t>(rest % banks_);
+        rest /= banks_;
+        c.rank = static_cast<std::uint8_t>(rest % ranks_);
+        rest /= ranks_;
+        c.row = static_cast<std::uint32_t>(rest % rows_);
+    } else {
+        c.bank = static_cast<std::uint8_t>(rest % banks_);
+        rest /= banks_;
+        c.rank = static_cast<std::uint8_t>(rest % ranks_);
+        rest /= ranks_;
+        c.col = static_cast<std::uint32_t>(rest % cols_);
+        rest /= cols_;
+        c.row = static_cast<std::uint32_t>(rest % rows_);
+    }
+    // Permutation-based bank interleaving (Zhang et al.): fold a hash of
+    // the row into the bank index so concurrent streams in different
+    // rows (e.g. one per core in region-partitioned address spaces)
+    // spread across banks instead of thrashing one.  The row is hashed
+    // (not used raw) because region-aligned address spaces align the low
+    // row bits too.  For any fixed row this is a bijection on banks, so
+    // decode stays injective.
+    std::uint64_t h = c.row;
+    h = (h ^ (h >> 13)) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    c.bank = static_cast<std::uint8_t>((c.bank + h) % banks_);
+    return c;
+}
+
+unsigned
+AddressMap::channelOf(std::uint64_t line_index) const
+{
+    return static_cast<unsigned>(line_index % channels_);
+}
+
+std::uint64_t
+AddressMap::capacityLines() const
+{
+    return static_cast<std::uint64_t>(channels_) * ranks_ * banks_ * rows_ *
+           cols_;
+}
+
+} // namespace hetsim::dram

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Physical address to DRAM-coordinate mapping.
+ *
+ * Two interleaving schemes are provided, following the paper's
+ * methodology section:
+ *
+ *  - OpenPage ("open row address mapping" from Jacob et al. used for the
+ *    DDR3/LPDDR2 channels): from the LSB upward
+ *    [channel | column | bank | rank | row], so consecutive cache lines
+ *    round-robin across channels and, within a channel, stream through
+ *    one row to maximise row-buffer hits.
+ *
+ *  - ClosePage (used for the RLDRAM3 channels): from the LSB upward
+ *    [channel | bank | rank | column | row], so consecutive lines spread
+ *    across banks/ranks first to maximise bank-level parallelism.
+ *
+ * Counts need not be powers of two; decode uses div/mod so e.g. a 3-channel
+ * sweep in a property test is legal.  Addresses beyond the decode space
+ * wrap modulo the row count (a simulator simplification; capacity checks
+ * belong to configuration validation).
+ */
+
+#ifndef HETSIM_DRAM_ADDRESS_MAP_HH
+#define HETSIM_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/request.hh"
+
+namespace hetsim::dram
+{
+
+enum class MapScheme : std::uint8_t { OpenPage, ClosePage };
+
+class AddressMap
+{
+  public:
+    AddressMap(MapScheme scheme, unsigned channels, unsigned ranks,
+               unsigned banks, unsigned rows, unsigned cols);
+
+    /** Decode a line index (byte address >> 6, or a word index for the
+     *  word-granularity CWF fast channel). */
+    DramCoord decode(std::uint64_t line_index) const;
+
+    /** Channel of a line index without full decode. */
+    unsigned channelOf(std::uint64_t line_index) const;
+
+    /** Lines addressable before row wrap-around. */
+    std::uint64_t capacityLines() const;
+
+    MapScheme scheme() const { return scheme_; }
+    unsigned channels() const { return channels_; }
+    unsigned ranks() const { return ranks_; }
+    unsigned banks() const { return banks_; }
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+
+  private:
+    MapScheme scheme_;
+    unsigned channels_;
+    unsigned ranks_;
+    unsigned banks_;
+    unsigned rows_;
+    unsigned cols_;
+};
+
+} // namespace hetsim::dram
+
+#endif // HETSIM_DRAM_ADDRESS_MAP_HH

@@ -1,0 +1,300 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hetsim::dram
+{
+
+const char *
+toString(DramCmd cmd)
+{
+    switch (cmd) {
+      case DramCmd::Activate:
+        return "ACT";
+      case DramCmd::Read:
+        return "RD";
+      case DramCmd::Write:
+        return "WR";
+      case DramCmd::Precharge:
+        return "PRE";
+      case DramCmd::CompoundRead:
+        return "CRD";
+      case DramCmd::CompoundWrite:
+        return "CWR";
+      case DramCmd::Refresh:
+        return "REF";
+    }
+    return "?";
+}
+
+Channel::Channel(std::string name, const DeviceParams &params,
+                 unsigned ranks, SchedulerPolicy policy,
+                 AddrBusArbiter *shared_cmd_bus)
+    : name_(std::move(name)), params_(params), policy_(policy),
+      sharedCmdBus_(shared_cmd_bus),
+      cycleTicks_(params.clockDivider),
+      chipsPerRank_(params.chipsPerRank),
+      pendingPerRank_(ranks, 0),
+      lastWriteDataEnd_(ranks, 0)
+{
+    sim_assert(ranks > 0, "channel needs at least one rank");
+    ranks_.reserve(ranks);
+    for (unsigned r = 0; r < ranks; ++r)
+        ranks_.emplace_back(params_, r);
+}
+
+bool
+Channel::canAccept(AccessType type) const
+{
+    if (type == AccessType::Write)
+        return writeQ_.size() < policy_.writeQueueCap;
+    return readQ_.size() < policy_.readQueueCap;
+}
+
+void
+Channel::enqueue(MemRequest req, Tick now)
+{
+    sim_assert(canAccept(req.type), name_, ": enqueue into full queue");
+    sim_assert(req.coord.rank < ranks_.size(), "rank out of range");
+    sim_assert(req.coord.bank < params_.banksPerRank, "bank out of range");
+    req.enqueue = now;
+
+    if (req.isRead()) {
+        // Forward from a queued write to the same line/part: the data is
+        // newest in the write queue, no DRAM access needed.
+        for (const auto &w : writeQ_) {
+            if (w->lineAddr == req.lineAddr && w->part == req.part) {
+                req.firstIssue = now;
+                req.complete = now + cycleTicks_;
+                stats_.forwardedFromWriteQ.inc();
+                inflight_.push(std::make_unique<MemRequest>(req));
+                return;
+            }
+        }
+        pendingPerRank_[req.coord.rank] += 1;
+        readQ_.push_back(std::make_unique<MemRequest>(req));
+    } else {
+        pendingPerRank_[req.coord.rank] += 1;
+        writeQ_.push_back(std::make_unique<MemRequest>(req));
+    }
+}
+
+bool
+Channel::idle() const
+{
+    return readQ_.empty() && writeQ_.empty() && inflight_.empty();
+}
+
+void
+Channel::tick(Tick now)
+{
+    if (now < nextCycle_)
+        return;
+    nextCycle_ = now + cycleTicks_;
+
+    completeReads(now);
+    manageRefresh(now);
+
+    // Write-drain hysteresis (paper Table 1: watermarks 32/16).
+    if (draining_) {
+        if (writeQ_.empty() ||
+            (writeQ_.size() <= policy_.drainLowWatermark &&
+             !readQ_.empty())) {
+            draining_ = false;
+        }
+    } else {
+        if (writeQ_.size() >= policy_.drainHighWatermark ||
+            (readQ_.empty() && !writeQ_.empty())) {
+            draining_ = true;
+        }
+    }
+
+    scheduleCommand(now);
+    managePowerDown(now);
+
+    // Residency accounting for the power model.
+    for (auto &rank : ranks_)
+        rank.accountCycle(now, cycleTicks_);
+}
+
+void
+Channel::completeReads(Tick now)
+{
+    while (!inflight_.empty() && inflight_.top()->complete <= now) {
+        // priority_queue::top() is const; the move is safe because we pop
+        // immediately after.
+        ReqPtr done = std::move(const_cast<ReqPtr &>(inflight_.top()));
+        inflight_.pop();
+        if (done->isDemand()) {
+            stats_.demandReads.inc();
+            stats_.queueLatency.sample(
+                static_cast<double>(done->queueLatency()));
+            stats_.serviceLatency.sample(
+                static_cast<double>(done->serviceLatency()));
+            stats_.totalLatency.sample(
+                static_cast<double>(done->totalLatency()));
+        } else {
+            stats_.prefetchReads.inc();
+        }
+        if (callback_)
+            callback_(*done);
+    }
+}
+
+void
+Channel::manageRefresh(Tick now)
+{
+    if (params_.tREFI == 0)
+        return;
+    for (auto &rank : ranks_) {
+        if (now < rank.nextRefreshDue || rank.refreshing(now))
+            continue;
+        if (rank.poweredDown()) {
+            // Wake first; refresh will fire on a later cycle once tXP has
+            // elapsed (self-refresh is approximated by this round trip).
+            rank.exitPowerDown(now);
+            continue;
+        }
+        if (now < rank.readyAfterWake(now))
+            continue;
+        // All banks must be precharge-able before the all-bank refresh.
+        bool blocked = false;
+        for (const auto &bank : rank.banks) {
+            if (bank.isOpen() && !bank.canPrecharge(now)) {
+                blocked = true;
+                break;
+            }
+        }
+        if (blocked)
+            continue;
+        rank.startRefresh(now);
+        stats_.refreshes.inc();
+        recordAudit(DramCmd::Refresh, now,
+                    DramCoord{0, static_cast<std::uint8_t>(rank.index()), 0,
+                              0, 0},
+                    0, 0);
+    }
+}
+
+void
+Channel::managePowerDown(Tick now)
+{
+    if (!params_.idd.hasPowerDown || params_.powerDownIdle == 0)
+        return;
+    const Tick idle_ticks =
+        static_cast<Tick>(params_.powerDownIdle) * cycleTicks_;
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        Rank &rank = ranks_[r];
+        if (rank.poweredDown() || rank.refreshing(now))
+            continue;
+        if (pendingPerRank_[r] != 0)
+            continue;
+        if (now < rank.lastCommand + idle_ticks)
+            continue;
+        // Don't power down while a row still owes tRAS/tWR time.
+        bool settled = true;
+        for (const auto &bank : rank.banks) {
+            if (bank.isOpen() && !bank.canPrecharge(now)) {
+                settled = false;
+                break;
+            }
+        }
+        if (!settled)
+            continue;
+        rank.enterPowerDown(now);
+        stats_.powerDownEntries.inc();
+    }
+}
+
+bool
+Channel::rankAvailable(const Rank &rank, Tick now) const
+{
+    if (rank.refreshing(now))
+        return false;
+    if (!rank.poweredDown() && now < rank.readyAfterWake(now))
+        return false;
+    return true;
+}
+
+bool
+Channel::wakeIfNeeded(MemRequest &req, Tick now)
+{
+    Rank &rank = ranks_[req.coord.rank];
+    if (rank.poweredDown()) {
+        rank.exitPowerDown(now);
+        return true; // woke this cycle; command issues once tXP elapses
+    }
+    return false;
+}
+
+void
+Channel::finishColumnIssue(MemRequest &req, Tick now, Tick data_start)
+{
+    const Tick data_end = data_start + params_.ticks(params_.tBurst);
+    dataBusFreeAt_ = data_end;
+    lastDataEnd_ = data_end;
+    lastDataRank_ = req.coord.rank;
+    lastDataWasWrite_ = !req.isRead();
+    if (!req.isRead())
+        lastWriteDataEnd_[req.coord.rank] = data_end;
+    stats_.dataBusBusyTicks += params_.ticks(params_.tBurst);
+
+    req.columnIssue = now;
+    if (req.firstIssue == kTickNever)
+        req.firstIssue = now;
+    req.complete = data_end;
+    ranks_[req.coord.rank].lastCommand = now;
+}
+
+void
+Channel::recordAudit(DramCmd cmd, Tick at, const DramCoord &coord,
+                     Tick data_start, Tick data_end)
+{
+    if (!auditEnabled_)
+        return;
+    audit_.push_back(AuditEvent{cmd, at, coord.rank, coord.bank, coord.row,
+                                data_start, data_end});
+}
+
+double
+Channel::busUtilization(Tick now) const
+{
+    const Tick window = now > stats_.windowStart ? now - stats_.windowStart
+                                                 : 1;
+    return static_cast<double>(stats_.dataBusBusyTicks) /
+           static_cast<double>(window);
+}
+
+void
+Channel::resetStats(Tick now)
+{
+    stats_.demandReads.reset();
+    stats_.prefetchReads.reset();
+    stats_.writes.reset();
+    stats_.rowHits.reset();
+    stats_.rowMisses.reset();
+    stats_.forwardedFromWriteQ.reset();
+    stats_.refreshes.reset();
+    stats_.powerDownEntries.reset();
+    stats_.queueLatency.reset();
+    stats_.serviceLatency.reset();
+    stats_.totalLatency.reset();
+    stats_.dataBusBusyTicks = 0;
+    stats_.windowStart = now;
+    for (auto &rank : ranks_)
+        rank.collectActivity(true);
+}
+
+std::vector<RankActivity>
+Channel::collectActivity(bool reset)
+{
+    std::vector<RankActivity> out;
+    out.reserve(ranks_.size());
+    for (auto &rank : ranks_)
+        out.push_back(rank.collectActivity(reset));
+    return out;
+}
+
+} // namespace hetsim::dram

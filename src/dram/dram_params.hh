@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Device models for the three DRAM flavours the paper composes into a
+ * heterogeneous main memory: DDR3-1600 (MT41J256M8), LPDDR2-800
+ * (MT42L128M16) and RLDRAM3 (MT44K32M18).
+ *
+ * Timing values follow the paper's Table 2 verbatim; geometry and IDD
+ * currents follow the corresponding Micron datasheets (commented inline).
+ * All timings are stored pre-converted to *memory-clock cycles* with the
+ * ns values retained for reporting; the channel controller works in global
+ * CPU ticks via the @c clockDivider.
+ */
+
+#ifndef HETSIM_DRAM_DRAM_PARAMS_HH
+#define HETSIM_DRAM_DRAM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace hetsim::dram
+{
+
+/** CPU clock assumed by the global tick (paper Table 1: 3.2 GHz). */
+constexpr double kCpuFreqGhz = 3.2;
+constexpr double kTickNs = 1.0 / kCpuFreqGhz;
+
+/** DRAM chip families modelled. */
+enum class DeviceKind : std::uint8_t { DDR3, LPDDR2, RLDRAM3 };
+
+/** Row-buffer management policy. */
+enum class PagePolicy : std::uint8_t { Open, Close };
+
+const char *toString(DeviceKind kind);
+const char *toString(PagePolicy policy);
+
+/**
+ * Micron power-calculator style current/voltage parameters, per chip.
+ *
+ * Units: currents in mA, voltage in V.  Energy integration happens in
+ * power::ChipPowerModel; this struct only carries datasheet values plus
+ * the paper's server-adaptation adders (DLL idle current, ODT static
+ * power) for LPDRAM.
+ */
+struct IddParams
+{
+    double vdd = 1.5;
+    double idd0 = 0;     ///< one-bank activate-precharge
+    double idd2p = 0;    ///< precharge power-down
+    double idd2n = 0;    ///< precharge standby
+    double idd3p = 0;    ///< active power-down
+    double idd3n = 0;    ///< active standby
+    double idd4r = 0;    ///< burst read
+    double idd4w = 0;    ///< burst write
+    double idd5 = 0;     ///< burst refresh
+    /** Static ODT termination power per chip, mW (0 if no ODT). */
+    double odtStaticMw = 0;
+    /** Per-beat read/write I/O+termination energy, pJ per data pin. */
+    double ioPjPerBitRead = 0;
+    double ioPjPerBitWrite = 0;
+    /** Whether the device supports power-down states at all. */
+    bool hasPowerDown = true;
+};
+
+/**
+ * One DRAM device family instantiated at a fixed speed grade, plus the
+ * rank geometry it is used with in this study.
+ */
+struct DeviceParams
+{
+    DeviceKind kind = DeviceKind::DDR3;
+    std::string name;
+
+    /** Memory-clock period, ns (800 MHz -> 1.25, 400 MHz -> 2.5). */
+    double tCkNs = 1.25;
+    /** Global CPU ticks per memory cycle. */
+    unsigned clockDivider = 4;
+
+    PagePolicy policy = PagePolicy::Open;
+
+    // ---- timing, in memory-clock cycles (Table 2 unless noted) ----
+    unsigned tRC = 0;    ///< activate-to-activate, same bank
+    unsigned tRCD = 0;   ///< activate-to-column
+    unsigned tRL = 0;    ///< read latency (CAS)
+    unsigned tWL = 0;    ///< write latency
+    unsigned tRP = 0;    ///< precharge period
+    unsigned tRAS = 0;   ///< activate-to-precharge minimum
+    unsigned tRTRS = 2;  ///< rank-to-rank data-bus switch
+    unsigned tFAW = 0;   ///< four-activate window (0 = unrestricted)
+    unsigned tWTR = 0;   ///< write-to-read turnaround
+    unsigned tRTP = 0;   ///< read-to-precharge
+    unsigned tWR = 0;    ///< write recovery
+    unsigned tCCD = 4;   ///< column-to-column (burst gap)
+    unsigned tBurst = 4; ///< data-bus occupancy of one transfer (BL8, DDR)
+    unsigned tREFI = 0;  ///< refresh interval (0 = self-managed/none)
+    unsigned tRFC = 0;   ///< refresh cycle time
+    unsigned tXP = 0;    ///< power-down exit latency
+    unsigned tCKE = 0;   ///< power-down entry time
+
+    /** Idle memory-cycles before a rank drops into power-down. */
+    unsigned powerDownIdle = 32;
+
+    // ---- rank geometry ----
+    unsigned banksPerRank = 8;
+    unsigned rowsPerBank = 32768;
+    /** Cache lines per row per rank (row size / 64 B). */
+    unsigned lineColsPerRow = 128;
+    /** Data chips ganged into one rank. */
+    unsigned chipsPerRank = 8;
+
+    IddParams idd;
+
+    /** Rank capacity in bytes implied by the geometry. */
+    std::uint64_t rankBytes() const;
+
+    /** Convert ns to this device's memory cycles (ceiling). */
+    unsigned cyc(double ns) const;
+
+    /** Convert a memory-cycle count to global CPU ticks. */
+    Tick ticks(unsigned cycles) const
+    {
+        return static_cast<Tick>(cycles) * clockDivider;
+    }
+
+    // ---- factory functions for the three studied devices ----
+
+    /** DDR3-1600 x8 2 Gb, Micron MT41J256M8 (paper baseline). */
+    static DeviceParams ddr3_1600();
+
+    /** LPDDR2-800 (400 MHz) 2 Gb, Micron MT42L128M16, with the paper's
+     *  server adaptations (DLL idle current = DDR3's, ODT static power). */
+    static DeviceParams lpddr2_800();
+
+    /** LPDDR2 without the DLL/ODT adders, per Malladi et al. (paper
+     *  Section 7.2 alternate design). */
+    static DeviceParams lpddr2_800_noOdt();
+
+    /** RLDRAM3 x9-capable 576 Mb, Micron MT44K32M18 (close page,
+     *  SRAM-style addressing, no tFAW, no power-down). */
+    static DeviceParams rldram3();
+
+    static DeviceParams byKind(DeviceKind kind);
+};
+
+} // namespace hetsim::dram
+
+#endif // HETSIM_DRAM_DRAM_PARAMS_HH

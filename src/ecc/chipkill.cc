@@ -1,0 +1,154 @@
+#include "ecc/chipkill.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace hetsim::ecc
+{
+
+namespace
+{
+
+/** Exp/log tables for GF(256) with p(x) = 0x11d. */
+struct Gf256Tables
+{
+    std::array<std::uint8_t, 510> exp{};
+    std::array<std::uint8_t, 256> log{};
+
+    Gf256Tables()
+    {
+        unsigned v = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            exp[i] = static_cast<std::uint8_t>(v);
+            log[v] = static_cast<std::uint8_t>(i);
+            v <<= 1;
+            if (v & 0x100)
+                v ^= 0x11d;
+        }
+        for (unsigned i = 255; i < exp.size(); ++i)
+            exp[i] = exp[i - 255];
+    }
+};
+
+const Gf256Tables &
+tables()
+{
+    static const Gf256Tables t;
+    return t;
+}
+
+std::uint8_t
+symbolOf(const ChipkillSsc::Block &b, unsigned i)
+{
+    const std::uint64_t word = i < 8 ? b.lo : b.hi;
+    return static_cast<std::uint8_t>(word >> (8 * (i % 8)));
+}
+
+void
+setSymbol(ChipkillSsc::Block &b, unsigned i, std::uint8_t v)
+{
+    std::uint64_t &word = i < 8 ? b.lo : b.hi;
+    const unsigned shift = 8 * (i % 8);
+    word = (word & ~(0xffULL << shift)) |
+           (static_cast<std::uint64_t>(v) << shift);
+}
+
+} // namespace
+
+std::uint8_t
+Gf256::mul(std::uint8_t a, std::uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const auto &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t
+Gf256::inv(std::uint8_t a)
+{
+    sim_assert(a != 0, "GF(256) inverse of zero");
+    const auto &t = tables();
+    return t.exp[(255 - t.log[a]) % 255];
+}
+
+std::uint8_t
+Gf256::pow(unsigned n)
+{
+    return tables().exp[n % 255];
+}
+
+unsigned
+Gf256::log(std::uint8_t a)
+{
+    sim_assert(a != 0, "GF(256) log of zero");
+    return tables().log[a];
+}
+
+std::uint16_t
+ChipkillSsc::encode(const Block &data)
+{
+    // Check symbols chosen so the received word satisfies
+    //   s0 = c0 + sum(d_i)              = 0
+    //   s1 = c1 + sum(d_i * alpha^(i+1)) = 0
+    // Data symbol i carries weight alpha^(i+1); the check symbols carry
+    // weight 1 in exactly one syndrome each, so every error location
+    // (16 data + 2 check) has a distinct syndrome signature.
+    std::uint8_t p0 = 0;
+    std::uint8_t p1 = 0;
+    for (unsigned i = 0; i < kDataSymbols; ++i) {
+        const std::uint8_t d = symbolOf(data, i);
+        p0 = Gf256::add(p0, d);
+        p1 = Gf256::add(p1, Gf256::mul(d, Gf256::pow(i + 1)));
+    }
+    return static_cast<std::uint16_t>(p0 | (p1 << 8));
+}
+
+ChipkillSsc::DecodeResult
+ChipkillSsc::decode(const Block &data, std::uint16_t check)
+{
+    DecodeResult r;
+    r.data = data;
+
+    const auto c0 = static_cast<std::uint8_t>(check & 0xff);
+    const auto c1 = static_cast<std::uint8_t>(check >> 8);
+
+    std::uint8_t s0 = c0;
+    std::uint8_t s1 = c1;
+    for (unsigned i = 0; i < kDataSymbols; ++i) {
+        const std::uint8_t d = symbolOf(data, i);
+        s0 = Gf256::add(s0, d);
+        s1 = Gf256::add(s1, Gf256::mul(d, Gf256::pow(i + 1)));
+    }
+
+    if (s0 == 0 && s1 == 0) {
+        r.status = Status::Ok;
+        return r;
+    }
+
+    if (s0 != 0 && s1 != 0) {
+        // Single data-symbol error at the position whose weight explains
+        // the syndrome ratio: alpha^pos = s1 / s0.
+        const unsigned pos_log =
+            (Gf256::log(s1) + 255 - Gf256::log(s0)) % 255;
+        if (pos_log >= 1 && pos_log <= kDataSymbols) {
+            const unsigned sym = pos_log - 1;
+            setSymbol(r.data, sym,
+                      Gf256::add(symbolOf(data, sym), s0));
+            r.correctedSymbol = static_cast<int>(sym);
+            r.status = Status::CorrectedSymbol;
+            return r;
+        }
+        // Implied location outside the data range: >1 symbol corrupted.
+        r.status = Status::DetectedMulti;
+        return r;
+    }
+
+    // Exactly one syndrome non-zero: the fault is confined to the check
+    // symbol feeding that syndrome; the data is intact.
+    r.status = Status::CorrectedCheck;
+    return r;
+}
+
+} // namespace hetsim::ecc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Chipkill-class symbol-correcting code (paper Section 4.2.3: "This
+ * general approach of lightweight error detection within RLDRAM and
+ * full-fledged error correction support within LPDRAM can also be
+ * extended to handle other fault tolerance solutions such as chipkill").
+ *
+ * Standard construction: a shortened Reed-Solomon code over GF(2^8)
+ * with two check symbols, RS(18,16).  A 128-bit block (two 64-bit beats
+ * of the slow channel's burst) is 16 byte-symbols; the two check bytes
+ * bring the code word to 144 bits — exactly two 72-bit ECC-DIMM beats,
+ * so the storage overhead matches the SECDED layout it replaces.  Any
+ * error confined to ONE symbol (one x8 DRAM chip's contribution to the
+ * block, however many of its 8 bits flip) is corrected, and errors in
+ * the check bytes themselves are recognised; multi-symbol errors are
+ * flagged whenever the implied error location is inconsistent.
+ */
+
+#ifndef HETSIM_ECC_CHIPKILL_HH
+#define HETSIM_ECC_CHIPKILL_HH
+
+#include <cstdint>
+
+namespace hetsim::ecc
+{
+
+/** GF(2^8) arithmetic with the primitive polynomial 0x11d. */
+class Gf256
+{
+  public:
+    static std::uint8_t add(std::uint8_t a, std::uint8_t b)
+    {
+        return a ^ b;
+    }
+
+    static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+    static std::uint8_t inv(std::uint8_t a);
+
+    /** alpha^n for the generator alpha = 2. */
+    static std::uint8_t pow(unsigned n);
+
+    /** Discrete log base alpha; a must be non-zero. */
+    static unsigned log(std::uint8_t a);
+};
+
+class ChipkillSsc
+{
+  public:
+    static constexpr unsigned kDataSymbols = 16; ///< 128-bit block
+
+    enum class Status : std::uint8_t {
+        Ok,               ///< clean
+        CorrectedSymbol,  ///< one byte-symbol (one chip) corrected
+        CorrectedCheck,   ///< an error confined to a check symbol
+        DetectedMulti,    ///< uncorrectable multi-symbol error detected
+    };
+
+    struct Block
+    {
+        std::uint64_t lo = 0; ///< symbols 0..7
+        std::uint64_t hi = 0; ///< symbols 8..15
+
+        bool operator==(const Block &) const = default;
+    };
+
+    struct DecodeResult
+    {
+        Status status = Status::Ok;
+        Block data;
+        int correctedSymbol = -1; ///< data symbol index if corrected
+    };
+
+    /** Two GF(256) check symbols: low byte = plain parity syndrome
+     *  symbol, high byte = alpha-weighted symbol. */
+    static std::uint16_t encode(const Block &data);
+
+    static DecodeResult decode(const Block &data, std::uint16_t check);
+};
+
+} // namespace hetsim::ecc
+
+#endif // HETSIM_ECC_CHIPKILL_HH

@@ -1,0 +1,32 @@
+#include "ecc/parity.hh"
+
+#include <bit>
+
+namespace hetsim::ecc
+{
+
+std::uint8_t
+ByteParity::encode(std::uint64_t word)
+{
+    std::uint8_t parity = 0;
+    for (unsigned byte = 0; byte < 8; ++byte) {
+        const auto v = static_cast<std::uint8_t>(word >> (byte * 8));
+        if (std::popcount(v) % 2 == 1)
+            parity |= static_cast<std::uint8_t>(1u << byte);
+    }
+    return parity;
+}
+
+bool
+ByteParity::check(std::uint64_t word, std::uint8_t parity)
+{
+    return encode(word) == parity;
+}
+
+std::uint8_t
+ByteParity::failingBytes(std::uint64_t word, std::uint8_t parity)
+{
+    return static_cast<std::uint8_t>(encode(word) ^ parity);
+}
+
+} // namespace hetsim::ecc

@@ -1,0 +1,88 @@
+#include "ecc/secded.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace hetsim::ecc
+{
+
+const std::array<std::uint8_t, 64> &
+Secded7264::columns()
+{
+    // 64 distinct odd-weight 8-bit columns of weight >= 3 (weight-1
+    // columns are reserved for the check bits themselves).  Generated
+    // once in ascending numeric order: all 56 weight-3 columns plus the
+    // first 8 weight-5 columns.
+    static const std::array<std::uint8_t, 64> cols = [] {
+        std::array<std::uint8_t, 64> c{};
+        unsigned n = 0;
+        for (unsigned w : {3u, 5u}) {
+            for (unsigned v = 0; v < 256 && n < c.size(); ++v) {
+                if (std::popcount(v) == static_cast<int>(w))
+                    c[n++] = static_cast<std::uint8_t>(v);
+            }
+        }
+        sim_assert(n == c.size(), "H-matrix construction incomplete");
+        return c;
+    }();
+    return cols;
+}
+
+std::uint8_t
+Secded7264::dataColumn(unsigned i)
+{
+    sim_assert(i < 64, "data bit index out of range: ", i);
+    return columns()[i];
+}
+
+std::uint8_t
+Secded7264::encode(std::uint64_t data)
+{
+    std::uint8_t check = 0;
+    std::uint64_t bits = data;
+    unsigned i = 0;
+    while (bits) {
+        const unsigned bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        (void)i;
+        check ^= columns()[bit];
+    }
+    return check;
+}
+
+Secded7264::DecodeResult
+Secded7264::decode(std::uint64_t data, std::uint8_t check)
+{
+    DecodeResult r;
+    r.data = data;
+    r.syndrome = static_cast<std::uint8_t>(encode(data) ^ check);
+    if (r.syndrome == 0) {
+        r.status = Status::Ok;
+        return r;
+    }
+    if (std::popcount(r.syndrome) == 1) {
+        // A weight-1 syndrome matches a check-bit column: the error hit
+        // the stored check bits, the data is intact.
+        r.status = Status::CorrectedCheck;
+        return r;
+    }
+    // Odd-weight syndrome of weight >= 3: single data-bit error at the
+    // matching column.
+    if (std::popcount(r.syndrome) % 2 == 1) {
+        const auto &cols = columns();
+        for (unsigned i = 0; i < cols.size(); ++i) {
+            if (cols[i] == r.syndrome) {
+                r.data = data ^ (1ULL << i);
+                r.correctedBit = static_cast<int>(i);
+                r.status = Status::CorrectedData;
+                return r;
+            }
+        }
+        // Odd syndrome matching no column: >= 3-bit error, detected.
+    }
+    r.status = Status::DetectedDouble;
+    return r;
+}
+
+} // namespace hetsim::ecc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * (72,64) SECDED code in the Hsiao construction: 8 check bits protect a
+ * 64-bit word, correcting any single-bit error and detecting any
+ * double-bit error.
+ *
+ * The paper's baseline stores one such code word per 64-bit word on the
+ * ECC DIMM; the CWF design keeps SECDED on the slow DIMM and augments the
+ * critical word with byte parity (see ecc/parity.hh) so the early wakeup
+ * never consumes silently corrupted data that SECDED could have caught.
+ *
+ * Hsiao's construction uses only odd-weight H-matrix columns, which makes
+ * miscorrection impossible for double errors: the XOR of two odd-weight
+ * columns has even weight and thus can never equal a (odd-weight) column.
+ */
+
+#ifndef HETSIM_ECC_SECDED_HH
+#define HETSIM_ECC_SECDED_HH
+
+#include <array>
+#include <cstdint>
+
+namespace hetsim::ecc
+{
+
+class Secded7264
+{
+  public:
+    enum class Status : std::uint8_t {
+        Ok,               ///< syndrome zero, word clean
+        CorrectedData,    ///< single-bit error in the data, corrected
+        CorrectedCheck,   ///< single-bit error in the check bits
+        DetectedDouble,   ///< uncorrectable multi-bit error detected
+    };
+
+    struct DecodeResult
+    {
+        Status status = Status::Ok;
+        std::uint64_t data = 0;     ///< corrected data word
+        std::uint8_t syndrome = 0;
+        int correctedBit = -1;      ///< data bit index, if CorrectedData
+    };
+
+    /** Compute the 8 check bits for @p data. */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /** Decode a possibly-corrupted (data, check) pair. */
+    static DecodeResult decode(std::uint64_t data, std::uint8_t check);
+
+    /** H-matrix column (check-bit pattern) of data bit @p i; exposed for
+     *  property tests of the code's distance. */
+    static std::uint8_t dataColumn(unsigned i);
+
+  private:
+    static const std::array<std::uint8_t, 64> &columns();
+};
+
+} // namespace hetsim::ecc
+
+#endif // HETSIM_ECC_SECDED_HH

@@ -1,0 +1,123 @@
+#include "power/chip_power.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hetsim::power
+{
+
+namespace
+{
+
+/** Bits each chip moves per column access: one 64-bit word-slice of the
+ *  line for a ganged x8 chip, or the whole critical word for the x9
+ *  sub-ranked RLDRAM chip — the same 64 bits either way. */
+constexpr double kBitsPerAccessPerChip = 64.0;
+
+} // namespace
+
+ChipPowerModel::ChipPowerModel(const dram::DeviceParams &params)
+    : params_(params)
+{
+    const auto &idd = params_.idd;
+    const double tck = params_.tCkNs;
+
+    // Incremental activate energy per the Micron methodology:
+    // IDD0 covers one ACT-PRE pair over tRC; subtract the background
+    // current that would have flowed anyway (IDD3N during tRAS, IDD2N
+    // during tRC-tRAS).
+    const double trc_ns = params_.tRC * tck;
+    const double tras_ns = params_.tRAS * tck;
+    activatePj_ = idd.vdd * (idd.idd0 * trc_ns - idd.idd3n * tras_ns -
+                             idd.idd2n * (trc_ns - tras_ns));
+    activatePj_ = std::max(activatePj_, 0.0);
+
+    const double burst_ns = params_.tBurst * tck;
+    readBurstPj_ =
+        std::max(idd.vdd * (idd.idd4r - idd.idd3n) * burst_ns, 0.0);
+    writeBurstPj_ =
+        std::max(idd.vdd * (idd.idd4w - idd.idd3n) * burst_ns, 0.0);
+
+    const double trfc_ns = params_.tRFC * tck;
+    refreshPj_ = std::max(idd.vdd * (idd.idd5 - idd.idd3n) * trfc_ns, 0.0);
+
+    ioReadPj_ = idd.ioPjPerBitRead * kBitsPerAccessPerChip;
+    ioWritePj_ = idd.ioPjPerBitWrite * kBitsPerAccessPerChip;
+}
+
+ChipPowerModel::Breakdown
+ChipPowerModel::chipBreakdown(const dram::RankActivity &a) const
+{
+    const auto &idd = params_.idd;
+    Breakdown b;
+
+    auto ns = [](Tick t) { return static_cast<double>(t) * dram::kTickNs; };
+
+    b.backgroundPj = idd.vdd * (idd.idd3n * ns(a.actStbyTicks) +
+                                idd.idd2n * ns(a.preStbyTicks) +
+                                idd.idd2p * ns(a.pdnTicks) +
+                                idd.idd3n * ns(a.refreshTicks));
+    b.activatePj = activatePj_ * static_cast<double>(a.activates);
+    b.burstPj = readBurstPj_ * static_cast<double>(a.reads) +
+                writeBurstPj_ * static_cast<double>(a.writes);
+    b.ioTermPj = ioReadPj_ * static_cast<double>(a.reads) +
+                 ioWritePj_ * static_cast<double>(a.writes);
+    b.refreshPj = refreshPj_ * static_cast<double>(a.refreshes);
+    // Termination resistors are disabled while a rank is powered down
+    // (Rtt off with CKE low), so the ODT static draw only accrues over
+    // the rank's awake time.
+    b.odtStaticPj = idd.odtStaticMw * ns(a.windowTicks - a.pdnTicks);
+    return b;
+}
+
+double
+ChipPowerModel::chipPowerMw(const dram::RankActivity &a) const
+{
+    if (a.windowTicks == 0)
+        return 0.0;
+    const double window_ns =
+        static_cast<double>(a.windowTicks) * dram::kTickNs;
+    return chipEnergyPj(a) / window_ns;
+}
+
+double
+ChipPowerModel::powerAtUtilizationMw(const dram::DeviceParams &params,
+                                     double utilization,
+                                     double row_hit_rate)
+{
+    sim_assert(utilization >= 0.0 && utilization <= 1.0,
+               "utilization out of range: ", utilization);
+    const ChipPowerModel model(params);
+    const auto &idd = params.idd;
+
+    if (params.policy == dram::PagePolicy::Close)
+        row_hit_rate = 0.0;
+
+    // Accesses per ns implied by the bus utilization.
+    const double burst_ns = params.tBurst * params.tCkNs;
+    const double access_rate = utilization / burst_ns;
+    const double act_rate = access_rate * (1.0 - row_hit_rate);
+
+    // Standby background: devices with open rows sit between active and
+    // precharge standby; close-page devices idle precharged but RLDRAM's
+    // currents are flat anyway.
+    const double bg_mw =
+        params.policy == dram::PagePolicy::Open
+            ? idd.vdd * (0.5 * idd.idd3n + 0.5 * idd.idd2n)
+            : idd.vdd * idd.idd3n;
+
+    // Refresh average power.
+    double refresh_mw = 0.0;
+    if (params.tREFI > 0) {
+        refresh_mw = model.refreshEnergyPj() /
+                     (params.tREFI * params.tCkNs);
+    }
+
+    return bg_mw + idd.odtStaticMw + refresh_mw +
+           act_rate * model.activateEnergyPj() +
+           access_rate * (model.readBurstEnergyPj() +
+                          model.ioEnergyPerReadPj());
+}
+
+} // namespace hetsim::power

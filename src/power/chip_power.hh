@@ -1,0 +1,98 @@
+/**
+ * @file
+ * IDD-based DRAM chip power/energy model following the Micron system
+ * power calculator methodology the paper uses: per-state background
+ * power from standby/power-down currents, per-activate and per-burst
+ * incremental energies, refresh energy, I/O + termination energy, and
+ * the static ODT adder for server-adapted parts.
+ *
+ * All energies are returned in picojoules (mA x V x ns = pJ); powers in
+ * milliwatts.
+ */
+
+#ifndef HETSIM_POWER_CHIP_POWER_HH
+#define HETSIM_POWER_CHIP_POWER_HH
+
+#include "dram/dram_params.hh"
+#include "dram/rank.hh"
+
+namespace hetsim::power
+{
+
+class ChipPowerModel
+{
+  public:
+    explicit ChipPowerModel(const dram::DeviceParams &params);
+
+    /** Energy component breakdown for one chip over one window. */
+    struct Breakdown
+    {
+        double backgroundPj = 0;
+        double activatePj = 0;
+        double burstPj = 0;   ///< incremental read/write array energy
+        double ioTermPj = 0;  ///< I/O drivers + dynamic termination
+        double refreshPj = 0;
+        double odtStaticPj = 0;
+
+        double
+        totalPj() const
+        {
+            return backgroundPj + activatePj + burstPj + ioTermPj +
+                   refreshPj + odtStaticPj;
+        }
+    };
+
+    /** Per-chip energy over the activity window of one rank (every chip
+     *  in a rank sees the same command stream). */
+    Breakdown chipBreakdown(const dram::RankActivity &activity) const;
+
+    double
+    chipEnergyPj(const dram::RankActivity &activity) const
+    {
+        return chipBreakdown(activity).totalPj();
+    }
+
+    /** Whole-rank energy: chip energy times the ganged chip count. */
+    double
+    rankEnergyPj(const dram::RankActivity &activity, unsigned chips) const
+    {
+        return chipEnergyPj(activity) * chips;
+    }
+
+    /** Average power of one chip over a window, mW. */
+    double chipPowerMw(const dram::RankActivity &activity) const;
+
+    /**
+     * Analytic chip power at a given data-bus utilization (the Fig. 2
+     * curve): steady-state standby background plus activate/burst/I-O
+     * energy at the implied access rate.
+     *
+     * @param utilization   fraction of time the data bus carries data
+     * @param row_hit_rate  fraction of accesses not needing an ACTIVATE
+     *                      (forced to 0 for close-page devices)
+     */
+    static double powerAtUtilizationMw(const dram::DeviceParams &params,
+                                       double utilization,
+                                       double row_hit_rate = 0.5);
+
+    // Per-event energies, exposed for tests.
+    double activateEnergyPj() const { return activatePj_; }
+    double readBurstEnergyPj() const { return readBurstPj_; }
+    double writeBurstEnergyPj() const { return writeBurstPj_; }
+    double refreshEnergyPj() const { return refreshPj_; }
+    double ioEnergyPerReadPj() const { return ioReadPj_; }
+    double ioEnergyPerWritePj() const { return ioWritePj_; }
+
+  private:
+    dram::DeviceParams params_;
+    double activatePj_ = 0;
+    double readBurstPj_ = 0;
+    double writeBurstPj_ = 0;
+    double refreshPj_ = 0;
+    double ioReadPj_ = 0;
+    double ioWritePj_ = 0;
+};
+
+} // namespace hetsim::power
+
+#endif // HETSIM_POWER_CHIP_POWER_HH

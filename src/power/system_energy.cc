@@ -1,0 +1,41 @@
+#include "power/system_energy.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::power
+{
+
+SystemEnergyResult
+SystemEnergyModel::compare(const RunEnergyInput &baseline,
+                           const RunEnergyInput &config)
+{
+    sim_assert(baseline.dramPowerMw > 0 && baseline.ipc > 0 &&
+                   baseline.seconds > 0,
+               "baseline run must have positive power/ipc/time");
+    sim_assert(config.seconds > 0, "config run must have positive time");
+
+    SystemEnergyResult r;
+
+    // Baseline decomposition: DRAM is 25 % of system, CPU the rest.
+    const double sys_base_mw = baseline.dramPowerMw / kDramShareOfSystem;
+    const double cpu_base_mw = sys_base_mw - baseline.dramPowerMw;
+    const double cpu_static_mw = cpu_base_mw * kCpuStaticShare;
+    const double cpu_dyn_base_mw = cpu_base_mw - cpu_static_mw;
+
+    // CPU activity scales with achieved IPC.
+    const double activity = config.ipc / baseline.ipc;
+    r.cpuPowerMw = cpu_static_mw + cpu_dyn_base_mw * activity;
+    r.systemPowerMw = r.cpuPowerMw + config.dramPowerMw;
+
+    const double e_base_sys = sys_base_mw * baseline.seconds;
+    const double e_cfg_sys = r.systemPowerMw * config.seconds;
+    r.systemEnergyNorm = e_cfg_sys / e_base_sys;
+
+    const double e_base_dram = baseline.dramPowerMw * baseline.seconds;
+    const double e_cfg_dram = config.dramPowerMw * config.seconds;
+    r.dramEnergyNorm = e_cfg_dram / e_base_dram;
+    r.dramPowerNorm = config.dramPowerMw / baseline.dramPowerMw;
+    return r;
+}
+
+} // namespace hetsim::power

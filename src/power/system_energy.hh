@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Whole-system energy model from the paper's Section 6.1.3 methodology:
+ * the DRAM system consumes 25 % of baseline system power; one third of
+ * CPU power is constant (leakage + clock) and the rest scales linearly
+ * with CPU activity (IPC relative to the baseline).
+ */
+
+#ifndef HETSIM_POWER_SYSTEM_ENERGY_HH
+#define HETSIM_POWER_SYSTEM_ENERGY_HH
+
+namespace hetsim::power
+{
+
+/** Inputs for one (workload, memory-configuration) run. */
+struct RunEnergyInput
+{
+    double dramPowerMw = 0;  ///< measured average DRAM power
+    double ipc = 0;          ///< aggregate IPC (CPU activity proxy)
+    double seconds = 0;      ///< wall time of the fixed work quantum
+};
+
+/** Normalised outputs (all relative to the baseline run). */
+struct SystemEnergyResult
+{
+    double dramEnergyNorm = 1.0;    ///< config DRAM energy / baseline
+    double systemEnergyNorm = 1.0;  ///< config system energy / baseline
+    double dramPowerNorm = 1.0;     ///< config DRAM power / baseline
+    double cpuPowerMw = 0;          ///< modelled CPU power of the config
+    double systemPowerMw = 0;       ///< DRAM + CPU power of the config
+};
+
+class SystemEnergyModel
+{
+  public:
+    /** Fraction of baseline system power drawn by the DRAM system. */
+    static constexpr double kDramShareOfSystem = 0.25;
+    /** Fraction of CPU power that is constant (leakage + clock). */
+    static constexpr double kCpuStaticShare = 1.0 / 3.0;
+
+    /**
+     * Evaluate a configuration against the baseline run executing the
+     * same work quantum.
+     */
+    static SystemEnergyResult compare(const RunEnergyInput &baseline,
+                                      const RunEnergyInput &config);
+};
+
+} // namespace hetsim::power
+
+#endif // HETSIM_POWER_SYSTEM_ENERGY_HH

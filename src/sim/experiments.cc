@@ -1,0 +1,182 @@
+#include "sim/experiments.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+#include "workloads/suite.hh"
+
+namespace hetsim::sim
+{
+
+ExperimentScale
+ExperimentScale::fromEnv()
+{
+    ExperimentScale s;
+    if (const char *reads = std::getenv("HETSIM_READS")) {
+        const std::uint64_t v = std::strtoull(reads, nullptr, 10);
+        if (v > 0) {
+            s.measureReads = v;
+            s.warmupReads = std::max<std::uint64_t>(v, 1000);
+        }
+    }
+    if (const char *warm = std::getenv("HETSIM_WARMUP")) {
+        const std::uint64_t v = std::strtoull(warm, nullptr, 10);
+        if (v > 0)
+            s.warmupReads = v;
+    }
+    return s;
+}
+
+RunConfig
+ExperimentScale::runConfig(unsigned active_cores,
+                           unsigned total_cores) const
+{
+    RunConfig rc;
+    // Alone runs accumulate reads ~8x slower; shrink their quantum so a
+    // full sweep stays tractable while keeping enough samples.
+    const double share = static_cast<double>(active_cores) /
+                         static_cast<double>(total_cores);
+    rc.measureReads = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(measureReads * std::max(share, 0.25)),
+        2000);
+    rc.warmupReads = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(warmupReads * std::max(share, 0.25)),
+        400);
+    // Low-MPKI programs (ep, sjeng, ...) never reach the read quantum;
+    // their IPC converges within a few million ticks, so cap the windows
+    // to keep full-suite sweeps fast.
+    rc.maxWarmupTicks = 3'000'000;
+    rc.maxMeasureTicks = 12'000'000;
+    return rc;
+}
+
+ExperimentRunner::ExperimentRunner() : scale_(ExperimentScale::fromEnv())
+{
+    if (const char *env = std::getenv("HETSIM_WORKLOADS")) {
+        std::stringstream ss(env);
+        std::string tok;
+        while (std::getline(ss, tok, ',')) {
+            if (!tok.empty()) {
+                workloads_.push_back(
+                    workloads::suite::byName(tok).name); // validates
+            }
+        }
+    }
+    if (workloads_.empty())
+        workloads_ = workloads::suite::names();
+}
+
+SystemParams
+ExperimentRunner::paramsFor(MemConfig mem, bool prefetcher)
+{
+    SystemParams p;
+    p.mem = mem;
+    p.prefetcherEnabled = prefetcher;
+    return p;
+}
+
+const RunResult &
+ExperimentRunner::getOrRun(const SystemParams &params,
+                           const std::string &bench, unsigned active_cores)
+{
+    std::ostringstream key;
+    key << params.cacheKey() << "|" << bench << "|a" << active_cores << "|r"
+        << scale_.measureReads;
+    const auto it = cache_.find(key.str());
+    if (it != cache_.end())
+        return it->second;
+
+    const auto &profile = workloads::suite::byName(bench);
+    System system(params, profile, active_cores);
+    const RunConfig rc = scale_.runConfig(active_cores, params.cores);
+    RunResult result = runSimulation(system, rc);
+    return cache_.emplace(key.str(), std::move(result)).first->second;
+}
+
+const RunResult &
+ExperimentRunner::sharedRun(const SystemParams &params,
+                            const std::string &bench)
+{
+    return getOrRun(params, bench, params.cores);
+}
+
+const RunResult &
+ExperimentRunner::aloneRun(const SystemParams &params,
+                           const std::string &bench)
+{
+    return getOrRun(params, bench, 1);
+}
+
+double
+ExperimentRunner::weightedThroughput(const SystemParams &params,
+                                     const std::string &bench)
+{
+    const RunResult &shared = sharedRun(params, bench);
+    const RunResult &alone = aloneRun(params, bench);
+    sim_assert(!alone.perCoreIpc.empty(), "alone run produced no cores");
+    return sim::weightedThroughput(shared.perCoreIpc,
+                                   alone.perCoreIpc.front());
+}
+
+double
+ExperimentRunner::normalizedThroughput(const SystemParams &params,
+                                       const SystemParams &baseline,
+                                       const std::string &bench)
+{
+    // Weighted throughput Σ IPC_shared/IPC_alone with IPC_alone pinned
+    // to the *baseline* memory system for both sides.  Using per-config
+    // alone IPCs would turn the metric into a scaling measure that can
+    // invert the paper's orderings (a slower memory makes the alone run
+    // worse too); with baseline weights it reduces to relative system
+    // throughput, which is what Fig. 6 reports.
+    const RunResult &alone = aloneRun(baseline, bench);
+    sim_assert(!alone.perCoreIpc.empty(), "alone run produced no cores");
+    const double alone_ipc = alone.perCoreIpc.front();
+
+    const double wt = sim::weightedThroughput(
+        sharedRun(params, bench).perCoreIpc, alone_ipc);
+    const double wt_base = sim::weightedThroughput(
+        sharedRun(baseline, bench).perCoreIpc, alone_ipc);
+    sim_assert(wt_base > 0, "baseline throughput must be positive");
+    return wt / wt_base;
+}
+
+std::unordered_set<std::uint64_t>
+ExperimentRunner::profileHotPages(const std::string &bench,
+                                  double hot_fraction,
+                                  std::size_t capacity_pages)
+{
+    SystemParams profiling = paramsFor(MemConfig::BaselineDDR3);
+    profiling.trackPageCounts = true;
+
+    const auto &profile = workloads::suite::byName(bench);
+    System system(profiling, profile, profiling.cores);
+    const RunConfig rc = scale_.runConfig(profiling.cores, profiling.cores);
+    (void)runSimulation(system, rc);
+
+    const auto &counts = system.hierarchy().pageCounts();
+    // The capacity test uses the program's *declared* footprint (its
+    // largest cold working-set window times the core count), not the
+    // pages touched in a short profiling run: small-footprint programs
+    // fit the 0.5 GB DIMM outright (the paper's best case, +11.2%),
+    // larger ones place only the profiled hot fraction.
+    std::uint64_t footprint_bytes = 0;
+    for (const auto &spec : profile.patterns) {
+        footprint_bytes =
+            std::max<std::uint64_t>(footprint_bytes, spec.windowBytes);
+    }
+    footprint_bytes *= profiling.cores;
+    std::size_t budget;
+    if ((footprint_bytes >> kPageShift) <= capacity_pages) {
+        budget = counts.size();
+    } else {
+        budget = static_cast<std::size_t>(std::max<double>(
+            1.0, hot_fraction * static_cast<double>(counts.size())));
+    }
+    return cwf::PagePlacementMemory::selectHotPages(
+        counts, std::min(budget, capacity_pages));
+}
+
+} // namespace hetsim::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared experiment harness used by every bench binary: scales read
+ * quanta from the environment (HETSIM_READS / HETSIM_WORKLOADS), runs
+ * (configuration, workload) pairs, memoises results — including the
+ * single-core IPC_alone runs the weighted-throughput metric needs — and
+ * computes paper-style normalised numbers.
+ */
+
+#ifndef HETSIM_SIM_EXPERIMENTS_HH
+#define HETSIM_SIM_EXPERIMENTS_HH
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+
+namespace hetsim::sim
+{
+
+/** Read-quantum scaling, overridable via HETSIM_READS / HETSIM_WARMUP. */
+struct ExperimentScale
+{
+    std::uint64_t measureReads = 4000;
+    std::uint64_t warmupReads = 4000;
+
+    static ExperimentScale fromEnv();
+
+    /** RunConfig for a run with @p active_cores cores (alone runs use a
+     *  proportionally smaller quantum so suite sweeps stay fast). */
+    RunConfig runConfig(unsigned active_cores, unsigned total_cores) const;
+};
+
+class ExperimentRunner
+{
+  public:
+    /** Reads HETSIM_READS / HETSIM_WORKLOADS from the environment. */
+    ExperimentRunner();
+
+    const ExperimentScale &scale() const { return scale_; }
+
+    /** Benchmarks to sweep (env subset or the full suite). */
+    const std::vector<std::string> &workloads() const { return workloads_; }
+
+    /** Convenience constructor for a config's SystemParams. */
+    static SystemParams paramsFor(MemConfig mem, bool prefetcher = true);
+
+    /** 8-core shared run (memoised). */
+    const RunResult &sharedRun(const SystemParams &params,
+                               const std::string &bench);
+
+    /** Single-core IPC_alone run (memoised). */
+    const RunResult &aloneRun(const SystemParams &params,
+                              const std::string &bench);
+
+    /** Paper metric: Σ IPC_shared/IPC_alone for one workload. */
+    double weightedThroughput(const SystemParams &params,
+                              const std::string &bench);
+
+    /** Weighted throughput of @p params normalised to @p baseline. */
+    double normalizedThroughput(const SystemParams &params,
+                                const SystemParams &baseline,
+                                const std::string &bench);
+
+    /**
+     * Profile a workload on the DDR3 baseline and return the hot-page
+     * set for PagePlacementMemory.  Two constraints apply, as in
+     * Section 7.1: the 0.5 GB RLDRAM3 capacity (131072 4 KB pages) and
+     * the paper's placement rule of the top 7.6 % of accessed pages
+     * (0.5 GB / 6.5 GB footprint); the binding one wins.  With this
+     * study's scaled-down footprints the fraction usually binds —
+     * placing *everything* fast would just bottleneck the single
+     * RLDRAM channel.
+     */
+    std::unordered_set<std::uint64_t>
+    profileHotPages(const std::string &bench,
+                    double hot_fraction = 0.076,
+                    std::size_t capacity_pages = (512ULL << 20) >>
+                                                 kPageShift);
+
+  private:
+    const RunResult &getOrRun(const SystemParams &params,
+                              const std::string &bench,
+                              unsigned active_cores);
+
+    ExperimentScale scale_;
+    std::vector<std::string> workloads_;
+    std::map<std::string, RunResult> cache_;
+};
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_EXPERIMENTS_HH

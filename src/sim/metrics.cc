@@ -1,0 +1,58 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace hetsim::sim
+{
+
+double
+weightedThroughput(const std::vector<double> &shared_ipc, double alone_ipc)
+{
+    sim_assert(alone_ipc > 0, "alone IPC must be positive");
+    double sum = 0;
+    for (const double ipc : shared_ipc)
+        sum += ipc / alone_ipc;
+    return sum;
+}
+
+double
+weightedThroughput(const std::vector<double> &shared_ipc,
+                   const std::vector<double> &alone_ipc)
+{
+    sim_assert(shared_ipc.size() == alone_ipc.size(),
+               "shared/alone IPC vectors must align");
+    double sum = 0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i) {
+        sim_assert(alone_ipc[i] > 0, "alone IPC must be positive");
+        sum += shared_ipc[i] / alone_ipc[i];
+    }
+    return sum;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (const double v : values) {
+        sim_assert(v > 0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace hetsim::sim

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Evaluation metrics from the paper's methodology (Section 5): total
+ * system throughput is the weighted sum  Σ_i IPC_shared(i) / IPC_alone(i),
+ * where IPC_alone(i) is program i's IPC on a stand-alone single-core
+ * system with the same memory configuration.
+ */
+
+#ifndef HETSIM_SIM_METRICS_HH
+#define HETSIM_SIM_METRICS_HH
+
+#include <vector>
+
+namespace hetsim::sim
+{
+
+/** Weighted throughput with one shared IPC per core and a single alone
+ *  IPC (all cores run copies of the same program). */
+double weightedThroughput(const std::vector<double> &shared_ipc,
+                          double alone_ipc);
+
+/** General form with per-core alone IPCs. */
+double weightedThroughput(const std::vector<double> &shared_ipc,
+                          const std::vector<double> &alone_ipc);
+
+/** Arithmetic mean (suite averages of normalized throughput, as the
+ *  paper reports "average performance improvement"). */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean, for sensitivity reporting. */
+double geomean(const std::vector<double> &values);
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_METRICS_HH

@@ -1,0 +1,111 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "dram/dram_params.hh"
+
+namespace hetsim::sim
+{
+
+namespace
+{
+
+class Lines
+{
+  public:
+    explicit Lines(std::ostringstream &os) : os_(os)
+    {
+        os_ << std::setprecision(6);
+    }
+
+    template <typename T>
+    void
+    add(const std::string &name, const T &value)
+    {
+        os_ << std::left << std::setw(44) << name << " " << value
+            << "\n";
+    }
+
+    void
+    section(const std::string &title)
+    {
+        os_ << "---------- " << title << " ----------\n";
+    }
+
+  private:
+    std::ostringstream &os_;
+};
+
+} // namespace
+
+std::string
+renderReport(System &system, const RunResult &result)
+{
+    std::ostringstream os;
+    Lines out(os);
+
+    out.section("run");
+    out.add("run.config", system.backend().name());
+    out.add("run.benchmark", system.profile().name);
+    out.add("run.window_ticks", result.windowTicks);
+    out.add("run.seconds", result.seconds);
+    out.add("run.demand_reads", result.demandReads);
+    out.add("run.writebacks", result.writebacks);
+
+    out.section("cpu");
+    out.add("cpu.agg_ipc", result.aggIpc);
+    for (unsigned c = 0; c < system.activeCores(); ++c) {
+        const std::string prefix = "cpu." + std::to_string(c);
+        out.add(prefix + ".ipc", result.perCoreIpc[c]);
+        out.add(prefix + ".retired", system.core(c).retiredInWindow());
+        out.add(prefix + ".dispatch_stalls",
+                system.core(c).dispatchStalls());
+    }
+
+    const auto &h = system.hierarchy().stats();
+    out.section("hierarchy");
+    out.add("hier.loads", h.loads.value());
+    out.add("hier.stores", h.stores.value());
+    out.add("hier.demand_misses", h.demandMisses.value());
+    out.add("hier.demand_completions", h.demandCompletions.value());
+    out.add("hier.store_misses", h.storeMisses.value());
+    out.add("hier.mshr_joins", h.mshrJoins.value());
+    out.add("hier.prefetch_issued", h.prefetchIssued.value());
+    out.add("hier.blocked_accesses", h.blockedAccesses.value());
+    out.add("hier.writebacks", h.writebacks.value());
+    out.add("hier.l2_hits", system.hierarchy().l2().hits().value());
+    out.add("hier.l2_misses", system.hierarchy().l2().misses().value());
+    out.add("hier.mshr_full_stalls",
+            system.hierarchy().mshrs().fullStalls().value());
+
+    out.section("critical words");
+    out.add("cwf.latency_ticks", result.criticalWordLatencyTicks);
+    out.add("cwf.latency_ns",
+            result.criticalWordLatencyTicks * dram::kTickNs);
+    out.add("cwf.served_by_fast", result.servedByFastFraction);
+    out.add("cwf.early_wakes", h.earlyWakes.value());
+    out.add("cwf.parity_blocked_wakes", h.parityBlockedWakes.value());
+    out.add("cwf.fast_lead_ticks", result.fastLeadTicks);
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        out.add("cwf.critical_word_dist." + std::to_string(w),
+                result.criticalWordDist[w]);
+    }
+    out.add("cwf.second_access_gap_ticks", result.secondAccessGapTicks);
+    out.add("cwf.second_before_complete",
+            result.secondBeforeCompleteFraction);
+
+    out.section("dram");
+    out.add("dram.power_mw", result.dramPowerMw);
+    out.add("dram.bus_utilization", result.busUtilization);
+    out.add("dram.row_hit_rate", result.rowHitRate);
+    out.add("dram.queue_latency_ns",
+            result.latency.queueTicks * dram::kTickNs);
+    out.add("dram.service_latency_ns",
+            result.latency.serviceTicks * dram::kTickNs);
+    out.add("dram.total_latency_ns",
+            result.latency.totalTicks * dram::kTickNs);
+    return os.str();
+}
+
+} // namespace hetsim::sim

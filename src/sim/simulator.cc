@@ -1,0 +1,84 @@
+#include "sim/simulator.hh"
+
+#include "common/log.hh"
+#include "dram/dram_params.hh"
+
+namespace hetsim::sim
+{
+
+namespace
+{
+
+void
+runUntil(System &system, std::uint64_t target_reads, Tick max_ticks)
+{
+    const Tick deadline = system.now() + max_ticks;
+    const auto &stats = system.hierarchy().stats();
+    const std::uint64_t start = stats.demandCompletions.value();
+    while (stats.demandCompletions.value() - start < target_reads &&
+           system.now() < deadline) {
+        system.tick();
+    }
+}
+
+} // namespace
+
+RunResult
+runSimulation(System &system, const RunConfig &config)
+{
+    // ---- warmup ----
+    runUntil(system, config.warmupReads, config.maxWarmupTicks);
+    system.resetStats();
+
+    // ---- measurement ----
+    runUntil(system, config.measureReads, config.maxMeasureTicks);
+
+    RunResult r;
+    const Tick now = system.now();
+    r.windowTicks = now - system.windowStart();
+    r.seconds = static_cast<double>(r.windowTicks) * dram::kTickNs * 1e-9;
+    r.aggIpc = system.aggregateIpc();
+    r.perCoreIpc = system.perCoreIpc();
+
+    const auto &h = system.hierarchy().stats();
+    r.demandReads = h.demandCompletions.value();
+    r.writebacks = h.writebacks.value();
+    r.criticalWordLatencyTicks = h.criticalWordLatency.mean();
+    r.fastLeadTicks = h.fastLead.mean();
+    r.secondAccessGapTicks = h.secondAccessGap.mean();
+    const std::uint64_t second = h.secondAccesses.value();
+    r.secondBeforeCompleteFraction =
+        second ? static_cast<double>(h.secondBeforeComplete.value()) /
+                     static_cast<double>(second)
+               : 0.0;
+    r.mshrFullStalls = system.hierarchy().mshrs().fullStalls().value();
+
+    std::uint64_t miss_total = 0;
+    for (const auto &c : h.criticalWordHist)
+        miss_total += c.value();
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        r.criticalWordDist[w] =
+            miss_total ? static_cast<double>(
+                             h.criticalWordHist[w].value()) /
+                             static_cast<double>(miss_total)
+                       : 0.0;
+    }
+    const std::uint64_t demand_misses = h.demandMisses.value();
+    r.servedByFastFraction =
+        demand_misses ? static_cast<double>(h.servedByFast.value()) /
+                            static_cast<double>(demand_misses)
+                      : 0.0;
+    r.earlyWakeFraction =
+        demand_misses ? static_cast<double>(h.earlyWakes.value()) /
+                            static_cast<double>(demand_misses)
+                      : 0.0;
+
+    auto &backend = system.backend();
+    r.dramPowerMw = backend.dramPowerMw(now);
+    r.busUtilization = backend.busUtilization(now);
+    r.latency = backend.latencySplit();
+    r.rowHitRate = backend.rowHitRate();
+    return r;
+}
+
+} // namespace hetsim::sim

@@ -1,0 +1,82 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace hetsim::sim
+{
+
+System::System(const SystemParams &params,
+               const workloads::BenchmarkProfile &profile,
+               unsigned active_cores)
+    : params_(params), profile_(profile), activeCores_(active_cores)
+{
+    sim_assert(activeCores_ >= 1 && activeCores_ <= params_.cores,
+               "active core count out of range");
+
+    backend_ = buildBackend(params_);
+
+    cache::Hierarchy::Params hp;
+    hp.cores = params_.cores;
+    hp.prefetch.enabled = params_.prefetcherEnabled;
+    hp.trackPerLineCriticality = params_.trackPerLineCriticality;
+    hp.trackPageCounts = params_.trackPageCounts;
+    hierarchy_ = std::make_unique<cache::Hierarchy>(hp, *backend_);
+
+    for (unsigned c = 0; c < activeCores_; ++c) {
+        // Each core owns a disjoint 1 GB slice of the physical address
+        // space (multiprogrammed copies / one NPB thread per core).
+        const Addr base = static_cast<Addr>(c) << 30;
+        gens_.push_back(std::make_unique<workloads::WorkloadGenerator>(
+            profile_, static_cast<std::uint8_t>(c),
+            params_.seed + 17 * c, base));
+        workloads::WorkloadGenerator *gen = gens_[c].get();
+        cores_.push_back(std::make_unique<cpu::Core>(
+            static_cast<std::uint8_t>(c), cpu::Core::Params{},
+            [gen] { return gen->next(); }, *hierarchy_));
+    }
+
+    hierarchy_->setWakeFn(
+        [this](std::uint8_t core, std::uint16_t slot, Tick when) {
+            cores_.at(core)->wake(slot, when);
+        });
+}
+
+void
+System::tick()
+{
+    for (auto &core : cores_)
+        core->tick(now_);
+    hierarchy_->tick(now_);
+    backend_->tick(now_);
+    now_ += 1;
+}
+
+void
+System::resetStats()
+{
+    windowStart_ = now_;
+    for (auto &core : cores_)
+        core->resetStats(now_);
+    hierarchy_->resetStats();
+    backend_->resetStats(now_);
+}
+
+double
+System::aggregateIpc() const
+{
+    double sum = 0;
+    for (const auto &core : cores_)
+        sum += core->ipc(now_);
+    return sum;
+}
+
+std::vector<double>
+System::perCoreIpc() const
+{
+    std::vector<double> out;
+    for (const auto &core : cores_)
+        out.push_back(core->ipc(now_));
+    return out;
+}
+
+} // namespace hetsim::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Whole-system assembly: workload generators, cores, cache hierarchy and
+ * the memory backend, wired together and advanced in lock-step on the
+ * global CPU clock.
+ */
+
+#ifndef HETSIM_SIM_SYSTEM_HH
+#define HETSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "sim/system_config.hh"
+#include "workloads/suite.hh"
+
+namespace hetsim::sim
+{
+
+class System
+{
+  public:
+    /**
+     * @param active_cores  cores actually running the workload; the
+     *        paper's IPC_alone runs use 1, shared runs use params.cores.
+     */
+    System(const SystemParams &params,
+           const workloads::BenchmarkProfile &profile,
+           unsigned active_cores);
+
+    /** Advance one CPU cycle. */
+    void tick();
+
+    Tick now() const { return now_; }
+
+    unsigned activeCores() const { return activeCores_; }
+    cpu::Core &core(unsigned i) { return *cores_.at(i); }
+    cache::Hierarchy &hierarchy() { return *hierarchy_; }
+    cwf::MemoryBackend &backend() { return *backend_; }
+    const SystemParams &params() const { return params_; }
+    const workloads::BenchmarkProfile &profile() const { return profile_; }
+
+    /** Open a fresh measurement window at the current tick. */
+    void resetStats();
+
+    /** Sum of per-core IPCs over the current window. */
+    double aggregateIpc() const;
+
+    /** Per-core IPC over the current window. */
+    std::vector<double> perCoreIpc() const;
+
+    Tick windowStart() const { return windowStart_; }
+
+  private:
+    SystemParams params_;
+    const workloads::BenchmarkProfile &profile_;
+    unsigned activeCores_;
+
+    std::unique_ptr<cwf::MemoryBackend> backend_;
+    std::unique_ptr<cache::Hierarchy> hierarchy_;
+    std::vector<std::unique_ptr<workloads::WorkloadGenerator>> gens_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+    Tick now_ = 0;
+    Tick windowStart_ = 0;
+};
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_SYSTEM_HH

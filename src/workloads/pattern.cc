@@ -1,0 +1,129 @@
+#include "workloads/pattern.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hetsim::workloads
+{
+
+StreamPattern::StreamPattern(Addr base, std::uint64_t window_bytes,
+                             std::uint64_t stride_bytes,
+                             std::uint64_t start_offset)
+    : base_(base), window_(window_bytes), stride_(stride_bytes),
+      pos_(start_offset % window_bytes)
+{
+    sim_assert(window_ >= kLineBytes, "stream window below one line");
+    sim_assert(stride_ >= kWordBytes && stride_ % kWordBytes == 0,
+               "stream stride must be a positive word multiple");
+}
+
+Addr
+StreamPattern::next(Rng &rng)
+{
+    (void)rng;
+    const Addr addr = base_ + pos_;
+    pos_ += stride_;
+    if (pos_ >= window_)
+        pos_ -= window_;
+    return addr;
+}
+
+PointerChasePattern::PointerChasePattern(
+    Addr base, std::uint64_t window_bytes,
+    const std::array<double, kWordsPerLine> &word_dist)
+    : base_(base), windowLines_(window_bytes / kLineBytes)
+{
+    sim_assert(windowLines_ > 0, "chase window below one line");
+    double cum = 0;
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        sim_assert(word_dist[w] >= 0, "negative word weight");
+        cum += word_dist[w];
+        cumDist_[w] = cum;
+    }
+    sim_assert(cum > 0, "word distribution sums to zero");
+    for (auto &c : cumDist_)
+        c /= cum;
+}
+
+unsigned
+PointerChasePattern::wordFromUniform(double u) const
+{
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        if (u < cumDist_[w])
+            return w;
+    }
+    return kWordsPerLine - 1;
+}
+
+unsigned
+PointerChasePattern::stableWordOf(std::uint64_t line_index) const
+{
+    // splitmix64 finaliser: a uniform deterministic draw per line, so a
+    // line's hot word is fixed for the whole run (critical word
+    // regularity, paper Fig. 3).
+    std::uint64_t z = line_index + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return wordFromUniform(u);
+}
+
+Addr
+PointerChasePattern::next(Rng &rng)
+{
+    // Page-skewed line selection (see kHotPageFraction).
+    const std::uint64_t hot_lines = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(windowLines_ * kHotPageFraction));
+    const std::uint64_t line = rng.chance(kHotAccessFraction)
+                                   ? rng.below(hot_lines)
+                                   : rng.below(windowLines_);
+    const unsigned word = rng.chance(kWordJitter)
+                              ? wordFromUniform(rng.uniform())
+                              : stableWordOf(line);
+    return base_ + line * kLineBytes + word * kWordBytes;
+}
+
+void
+MixPattern::add(std::unique_ptr<AccessPattern> pattern, double weight)
+{
+    sim_assert(pattern, "null pattern in mix");
+    sim_assert(weight > 0, "non-positive mix weight");
+    totalWeight_ += weight;
+    parts_.push_back(Part{std::move(pattern), totalWeight_});
+}
+
+Addr
+MixPattern::next(Rng &rng)
+{
+    sim_assert(!parts_.empty(), "empty mix pattern");
+    const double u = rng.uniform() * totalWeight_;
+    for (auto &part : parts_) {
+        if (u < part.cumWeight) {
+            lastDependent_ = part.pattern->dependent();
+            return part.pattern->next(rng);
+        }
+    }
+    lastDependent_ = parts_.back().pattern->dependent();
+    return parts_.back().pattern->next(rng);
+}
+
+std::array<double, kWordsPerLine>
+uniformWordDist()
+{
+    std::array<double, kWordsPerLine> d;
+    d.fill(1.0 / kWordsPerLine);
+    return d;
+}
+
+std::array<double, kWordsPerLine>
+singleWordDist(unsigned word)
+{
+    sim_assert(word < kWordsPerLine, "word index out of range");
+    std::array<double, kWordsPerLine> d{};
+    d[word] = 1.0;
+    return d;
+}
+
+} // namespace hetsim::workloads

@@ -1,0 +1,94 @@
+#include "workloads/trace.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hetsim::workloads
+{
+
+TraceSource
+TraceSource::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return fromString(text.str());
+}
+
+TraceSource
+TraceSource::fromString(const std::string &text)
+{
+    TraceSource src;
+    std::istringstream in(text);
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        line_no += 1;
+        // Trim leading whitespace.
+        std::size_t start = 0;
+        while (start < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[start])))
+            start += 1;
+        if (start == line.size() || line[start] == '#')
+            continue;
+
+        std::istringstream fields(line.substr(start));
+        std::string kind;
+        fields >> kind;
+
+        Record rec;
+        if (kind == "N") {
+            std::uint64_t count = 0;
+            if (!(fields >> count) || count == 0)
+                fatal("trace line ", line_no, ": 'N' needs a count");
+            rec.aluCount = static_cast<std::uint32_t>(count);
+        } else if (kind == "R" || kind == "W" || kind == "D") {
+            std::string hex;
+            if (!(fields >> hex))
+                fatal("trace line ", line_no, ": missing address");
+            errno = 0;
+            char *end = nullptr;
+            const std::uint64_t addr = std::strtoull(
+                hex.c_str(), &end, 16);
+            if (errno != 0 || end == hex.c_str() || *end != '\0')
+                fatal("trace line ", line_no, ": bad address '", hex,
+                      "'");
+            rec.op.isMem = true;
+            rec.op.addr = addr & ~static_cast<Addr>(kWordBytes - 1);
+            rec.op.isWrite = kind == "W";
+            rec.op.dependsOnPrev = kind == "D";
+        } else {
+            fatal("trace line ", line_no, ": unknown record '", kind,
+                  "'");
+        }
+        src.ops_.push_back(rec);
+    }
+    return src;
+}
+
+MicroOp
+TraceSource::next(Addr rebase)
+{
+    sim_assert(!ops_.empty(), "next() on an empty trace");
+    if (pendingAlu_ > 0) {
+        pendingAlu_ -= 1;
+        return MicroOp{};
+    }
+    const Record &rec = ops_[cursor_];
+    cursor_ = (cursor_ + 1) % ops_.size();
+    if (rec.aluCount > 0) {
+        // Emit the first of the batch now, remember the rest.
+        pendingAlu_ = rec.aluCount - 1;
+        return MicroOp{};
+    }
+    MicroOp op = rec.op;
+    op.addr += rebase;
+    return op;
+}
+
+} // namespace hetsim::workloads

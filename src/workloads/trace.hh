@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace-driven workload source: replaces the synthetic generators with a
+ * recorded memory trace, so users with real application traces (e.g.
+ * from a PIN tool or another simulator) can evaluate the heterogeneous
+ * memory organisations on them directly.
+ *
+ * Format: plain text, one record per line.
+ *   R <hex-address>        load
+ *   W <hex-address>        store
+ *   D <hex-address>        load that depends on the previous load
+ *                          (pointer chase)
+ *   N <count>              <count> non-memory instructions
+ *   #...                   comment
+ *
+ * The trace loops when exhausted (simulation windows are typically far
+ * longer than a captured trace), and every address can optionally be
+ * rebased per core so multiprogrammed copies do not share data.
+ */
+
+#ifndef HETSIM_WORKLOADS_TRACE_HH
+#define HETSIM_WORKLOADS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/pattern.hh"
+
+namespace hetsim::workloads
+{
+
+class TraceSource
+{
+  public:
+    /** Parse @p path; fatal() on malformed records. */
+    static TraceSource fromFile(const std::string &path);
+
+    /** Parse from an in-memory string (tests, embedded traces). */
+    static TraceSource fromString(const std::string &text);
+
+    /** Next micro-op for a core whose addresses are offset by
+     *  @p rebase (commonly coreId << 30). */
+    MicroOp next(Addr rebase = 0);
+
+    std::size_t records() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    /** Restart from the first record. */
+    void rewind() { cursor_ = 0; pendingAlu_ = 0; }
+
+  private:
+    struct Record
+    {
+        MicroOp op;
+        std::uint32_t aluCount = 0; ///< for 'N' records
+    };
+
+    std::vector<Record> ops_;
+    std::size_t cursor_ = 0;
+    std::uint32_t pendingAlu_ = 0;
+};
+
+} // namespace hetsim::workloads
+
+#endif // HETSIM_WORKLOADS_TRACE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Address-map tests: bijectivity within the decode space, interleaving
+ * properties of the open- and close-page schemes, and parameterized
+ * sweeps over non-power-of-two geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dram/address_map.hh"
+
+using namespace hetsim;
+using dram::AddressMap;
+using dram::DramCoord;
+using dram::MapScheme;
+
+namespace
+{
+
+TEST(AddressMap, OpenPageChannelInterleavesAtLineGranularity)
+{
+    AddressMap map(MapScheme::OpenPage, 4, 1, 8, 1024, 128);
+    for (std::uint64_t line = 0; line < 64; ++line)
+        EXPECT_EQ(map.decode(line).channel, line % 4);
+}
+
+TEST(AddressMap, OpenPageConsecutiveLinesShareARow)
+{
+    AddressMap map(MapScheme::OpenPage, 4, 1, 8, 1024, 128);
+    // Lines 0, 4, 8, ... land on channel 0; within the channel they walk
+    // the column space of one row before switching banks.
+    const DramCoord first = map.decode(0);
+    for (std::uint64_t i = 1; i < 128; ++i) {
+        const DramCoord c = map.decode(i * 4);
+        EXPECT_EQ(c.channel, 0);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.bank, first.bank);
+        EXPECT_EQ(c.col, i);
+    }
+    // The 129th line on the channel moves to the next bank.
+    EXPECT_NE(map.decode(128 * 4).bank, first.bank);
+}
+
+TEST(AddressMap, ClosePageSpreadsAcrossBanksFirst)
+{
+    AddressMap map(MapScheme::ClosePage, 4, 1, 8, 1024, 128);
+    std::set<unsigned> banks;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const DramCoord c = map.decode(i * 4); // stay on channel 0
+        EXPECT_EQ(c.channel, 0);
+        banks.insert(c.bank);
+    }
+    EXPECT_EQ(banks.size(), 8u) << "8 consecutive lines hit 8 banks";
+}
+
+struct MapGeom
+{
+    unsigned channels, ranks, banks, rows, cols;
+};
+
+class AddressMapBijectivity
+    : public ::testing::TestWithParam<std::tuple<MapScheme, MapGeom>>
+{
+};
+
+TEST_P(AddressMapBijectivity, DecodeIsInjectiveOverCapacity)
+{
+    const auto [scheme, g] = GetParam();
+    AddressMap map(scheme, g.channels, g.ranks, g.banks, g.rows, g.cols);
+    const std::uint64_t capacity = map.capacityLines();
+    ASSERT_EQ(capacity, static_cast<std::uint64_t>(g.channels) * g.ranks *
+                            g.banks * g.rows * g.cols);
+    std::set<std::tuple<unsigned, unsigned, unsigned, unsigned, unsigned>>
+        seen;
+    for (std::uint64_t line = 0; line < capacity; ++line) {
+        const DramCoord c = map.decode(line);
+        ASSERT_LT(c.channel, g.channels);
+        ASSERT_LT(c.rank, g.ranks);
+        ASSERT_LT(c.bank, g.banks);
+        ASSERT_LT(c.row, g.rows);
+        ASSERT_LT(c.col, g.cols);
+        ASSERT_TRUE(
+            seen.insert({c.channel, c.rank, c.bank, c.row, c.col}).second)
+            << "collision at line " << line;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AddressMapBijectivity,
+    ::testing::Combine(
+        ::testing::Values(MapScheme::OpenPage, MapScheme::ClosePage),
+        ::testing::Values(MapGeom{4, 1, 8, 4, 8}, MapGeom{1, 4, 16, 4, 4},
+                          MapGeom{3, 2, 8, 5, 4},   // non-power-of-two
+                          MapGeom{2, 1, 4, 16, 16})));
+
+TEST(AddressMap, WrapsBeyondCapacity)
+{
+    AddressMap map(MapScheme::OpenPage, 2, 1, 2, 4, 4);
+    const std::uint64_t cap = map.capacityLines();
+    const DramCoord a = map.decode(5);
+    const DramCoord b = map.decode(5 + cap);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.col, b.col);
+}
+
+TEST(AddressMap, ChannelOfMatchesDecode)
+{
+    AddressMap map(MapScheme::ClosePage, 4, 2, 8, 64, 16);
+    for (std::uint64_t line = 0; line < 4096; line += 37)
+        EXPECT_EQ(map.channelOf(line), map.decode(line).channel);
+}
+
+} // namespace

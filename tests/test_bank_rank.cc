@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Bank and rank state-machine tests: command legality windows
+ * (tRCD/tRAS/tRC/tRP), RLDRAM compound-access turnaround, the tFAW
+ * sliding window, refresh bookkeeping, and power-down entry/exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "dram/bank.hh"
+#include "dram/rank.hh"
+
+using namespace hetsim;
+using dram::Bank;
+using dram::DeviceParams;
+using dram::Rank;
+
+namespace
+{
+
+class BankTiming : public ::testing::Test
+{
+  protected:
+    DeviceParams p = DeviceParams::ddr3_1600();
+    Bank bank;
+};
+
+TEST_F(BankTiming, ActivateOpensRowAndArmsTimers)
+{
+    EXPECT_TRUE(bank.canActivate(0));
+    bank.activate(0, 42, p);
+    EXPECT_TRUE(bank.isOpen());
+    EXPECT_EQ(bank.openRow, 42);
+    EXPECT_EQ(bank.nextColumn, p.ticks(p.tRCD));
+    EXPECT_EQ(bank.nextPrecharge, p.ticks(p.tRAS));
+    EXPECT_EQ(bank.nextActivate, p.ticks(p.tRC));
+    EXPECT_EQ(bank.activates, 1u);
+}
+
+TEST_F(BankTiming, ColumnBlockedUntilTrcd)
+{
+    bank.activate(0, 1, p);
+    EXPECT_FALSE(bank.canColumn(p.ticks(p.tRCD) - 1));
+    EXPECT_TRUE(bank.canColumn(p.ticks(p.tRCD)));
+}
+
+TEST_F(BankTiming, PrechargeBlockedUntilTras)
+{
+    bank.activate(0, 1, p);
+    EXPECT_FALSE(bank.canPrecharge(p.ticks(p.tRAS) - 1));
+    EXPECT_TRUE(bank.canPrecharge(p.ticks(p.tRAS)));
+    bank.precharge(p.ticks(p.tRAS), p);
+    EXPECT_FALSE(bank.isOpen());
+    // tRC still governs the next activate even after early precharge.
+    EXPECT_GE(bank.nextActivate, p.ticks(p.tRC));
+}
+
+TEST_F(BankTiming, ReadExtendsPrechargeByTrtp)
+{
+    bank.activate(0, 1, p);
+    const Tick rd = p.ticks(p.tRCD);
+    bank.read(rd, p);
+    EXPECT_GE(bank.nextPrecharge, rd + p.ticks(p.tRTP));
+    EXPECT_EQ(bank.reads, 1u);
+}
+
+TEST_F(BankTiming, WriteExtendsPrechargeByWriteRecovery)
+{
+    bank.activate(0, 1, p);
+    const Tick wr = p.ticks(p.tRCD);
+    bank.write(wr, p);
+    EXPECT_GE(bank.nextPrecharge,
+              wr + p.ticks(p.tWL + p.tBurst + p.tWR));
+}
+
+TEST_F(BankTiming, ConsecutiveColumnsRespectTccd)
+{
+    bank.activate(0, 1, p);
+    const Tick rd = p.ticks(p.tRCD);
+    bank.read(rd, p);
+    EXPECT_FALSE(bank.canColumn(rd + p.ticks(p.tCCD) - 1));
+    EXPECT_TRUE(bank.canColumn(rd + p.ticks(p.tCCD)));
+}
+
+TEST_F(BankTiming, IllegalCommandsPanic)
+{
+    setLogThrowOnError(true);
+    EXPECT_THROW(bank.read(0, p), SimError);   // no open row
+    bank.activate(0, 1, p);
+    EXPECT_THROW(bank.activate(1, 2, p), SimError); // already open
+    EXPECT_THROW(bank.precharge(1, p), SimError);   // tRAS pending
+    setLogThrowOnError(false);
+}
+
+TEST(RldramBank, CompoundAccessTurnsAroundInTrc)
+{
+    const DeviceParams p = DeviceParams::rldram3();
+    Bank bank;
+    bank.compoundAccess(0, p, /*is_write=*/false);
+    EXPECT_FALSE(bank.isOpen()); // auto-precharged
+    EXPECT_EQ(bank.nextActivate, p.ticks(p.tRC));
+    EXPECT_EQ(bank.reads, 1u);
+    EXPECT_EQ(bank.activates, 1u);
+    // tRC(RLDRAM3) = 12 ns = 40 ticks at 3.2 GHz, vs DDR3's 160.
+    EXPECT_EQ(p.ticks(p.tRC), 40u);
+    bank.compoundAccess(p.ticks(p.tRC), p, /*is_write=*/true);
+    EXPECT_EQ(bank.writes, 1u);
+}
+
+// --------------------------------------------------------------- rank
+
+TEST(RankFaw, FourActivatesThenWindowBlocks)
+{
+    const DeviceParams p = DeviceParams::ddr3_1600();
+    Rank rank(p, 0);
+    Tick t = 0;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(rank.fawAllows(t));
+        rank.recordActivate(t);
+        t += p.ticks(4);
+    }
+    // Fifth activate must wait until tFAW after the first.
+    EXPECT_FALSE(rank.fawAllows(t));
+    EXPECT_TRUE(rank.fawAllows(p.ticks(p.tFAW)));
+}
+
+TEST(RankFaw, RldramHasNoWindow)
+{
+    const DeviceParams p = DeviceParams::rldram3();
+    Rank rank(p, 0);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(rank.fawAllows(static_cast<Tick>(i)));
+        rank.recordActivate(static_cast<Tick>(i));
+    }
+}
+
+TEST(RankPowerDown, EntryClosesRowsAndExitCostsTxp)
+{
+    const DeviceParams p = DeviceParams::lpddr2_800();
+    Rank rank(p, 0);
+    rank.banks[0].activate(0, 7, p);
+    const Tick idle = 100000;
+    rank.enterPowerDown(idle);
+    EXPECT_TRUE(rank.poweredDown());
+    EXPECT_FALSE(rank.banks[0].isOpen());
+    rank.exitPowerDown(idle + 100);
+    EXPECT_FALSE(rank.poweredDown());
+    EXPECT_GE(rank.readyAfterWake(idle + 100), idle + 100 + p.ticks(p.tXP));
+}
+
+TEST(RankRefresh, BlocksBanksForTrfc)
+{
+    const DeviceParams p = DeviceParams::ddr3_1600();
+    Rank rank(p, 0);
+    const Tick due = rank.nextRefreshDue;
+    ASSERT_NE(due, kTickNever);
+    rank.startRefresh(due);
+    EXPECT_TRUE(rank.refreshing(due));
+    EXPECT_TRUE(rank.refreshing(due + p.ticks(p.tRFC) - 1));
+    EXPECT_FALSE(rank.refreshing(due + p.ticks(p.tRFC)));
+    for (const auto &bank : rank.banks)
+        EXPECT_GE(bank.nextActivate, due + p.ticks(p.tRFC));
+    EXPECT_EQ(rank.nextRefreshDue, due + p.ticks(p.tREFI));
+    EXPECT_EQ(rank.refreshes, 1u);
+}
+
+TEST(RankActivity, ResidencyBucketsSumToWindow)
+{
+    const DeviceParams p = DeviceParams::ddr3_1600();
+    Rank rank(p, 0);
+    Tick t = 0;
+    const Tick cyc = p.clockDivider;
+    // 10 cycles precharge standby.
+    for (int i = 0; i < 10; ++i, t += cyc)
+        rank.accountCycle(t, cyc);
+    // Open a row: 5 cycles active standby.
+    rank.banks[0].activate(t, 3, p);
+    for (int i = 0; i < 5; ++i, t += cyc)
+        rank.accountCycle(t, cyc);
+    const auto act = rank.collectActivity(true);
+    EXPECT_EQ(act.preStbyTicks, 10 * cyc);
+    EXPECT_EQ(act.actStbyTicks, 5 * cyc);
+    EXPECT_EQ(act.windowTicks,
+              act.preStbyTicks + act.actStbyTicks + act.pdnTicks +
+                  act.refreshTicks);
+    EXPECT_EQ(act.activates, 1u);
+}
+
+TEST(RankActivity, CollectResetClearsCounters)
+{
+    const DeviceParams p = DeviceParams::ddr3_1600();
+    Rank rank(p, 0);
+    rank.banks[0].activate(0, 1, p);
+    rank.banks[0].read(p.ticks(p.tRCD), p);
+    auto first = rank.collectActivity(true);
+    EXPECT_EQ(first.reads, 1u);
+    auto second = rank.collectActivity(false);
+    EXPECT_EQ(second.reads, 0u);
+    EXPECT_EQ(second.activates, 0u);
+}
+
+} // namespace

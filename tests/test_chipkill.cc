@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Chipkill SSC tests: GF(256) arithmetic identities, exhaustive
+ * single-symbol (whole-chip) correction including multi-bit-within-
+ * symbol faults, check-symbol faults, and multi-symbol detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "ecc/chipkill.hh"
+
+using namespace hetsim;
+using ecc::ChipkillSsc;
+using ecc::Gf256;
+using Block = ecc::ChipkillSsc::Block;
+
+namespace
+{
+
+TEST(Gf256Arith, MultiplicationIdentities)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(Gf256::mul(static_cast<std::uint8_t>(a), 0), 0);
+    }
+    // alpha * alpha^254 = 1 (order 255).
+    EXPECT_EQ(Gf256::mul(2, Gf256::pow(254)), 1);
+}
+
+TEST(Gf256Arith, MultiplicationIsCommutative)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+    }
+}
+
+TEST(Gf256Arith, DistributesOverAddition)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        const auto c = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+                  Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256Arith, InverseRoundTrips)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<std::uint8_t>(a),
+                             Gf256::inv(static_cast<std::uint8_t>(a))),
+                  1);
+    }
+}
+
+TEST(Gf256Arith, AlphaPowersAreDistinct)
+{
+    std::set<std::uint8_t> seen;
+    for (unsigned n = 0; n < 255; ++n)
+        EXPECT_TRUE(seen.insert(Gf256::pow(n)).second) << n;
+    EXPECT_EQ(Gf256::pow(255), 1);
+}
+
+TEST(Chipkill, CleanBlockDecodesOk)
+{
+    const Block data{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+    const auto r = ChipkillSsc::decode(data, ChipkillSsc::encode(data));
+    EXPECT_EQ(r.status, ChipkillSsc::Status::Ok);
+    EXPECT_EQ(r.data, data);
+}
+
+TEST(Chipkill, CorrectsEverySingleSymbolErrorExhaustively)
+{
+    // Every data symbol x every non-zero error pattern within the
+    // symbol: the whole-chip failure model (any subset of the chip's
+    // 8 bits may flip).
+    const Block data{0xfedcba9876543210ULL, 0x0f1e2d3c4b5a6978ULL};
+    const std::uint16_t check = ChipkillSsc::encode(data);
+    for (unsigned sym = 0; sym < ChipkillSsc::kDataSymbols; ++sym) {
+        for (std::uint64_t err = 1; err < 256; err += 7) {
+            Block corrupted = data;
+            if (sym < 8)
+                corrupted.lo ^= err << (8 * sym);
+            else
+                corrupted.hi ^= err << (8 * (sym - 8));
+            const auto r = ChipkillSsc::decode(corrupted, check);
+            ASSERT_EQ(r.status, ChipkillSsc::Status::CorrectedSymbol)
+                << "sym " << sym << " err " << err;
+            ASSERT_EQ(r.data, data);
+            ASSERT_EQ(r.correctedSymbol, static_cast<int>(sym));
+        }
+    }
+}
+
+TEST(Chipkill, CheckSymbolErrorsLeaveDataIntact)
+{
+    const Block data{0x1111222233334444ULL, 0x5555666677778888ULL};
+    const std::uint16_t check = ChipkillSsc::encode(data);
+    for (unsigned e = 1; e < 256; e += 11) {
+        const auto r0 = ChipkillSsc::decode(
+            data, static_cast<std::uint16_t>(check ^ e));
+        EXPECT_EQ(r0.status, ChipkillSsc::Status::CorrectedCheck);
+        EXPECT_EQ(r0.data, data);
+        const auto r1 = ChipkillSsc::decode(
+            data, static_cast<std::uint16_t>(check ^ (e << 8)));
+        EXPECT_EQ(r1.status, ChipkillSsc::Status::CorrectedCheck);
+        EXPECT_EQ(r1.data, data);
+    }
+}
+
+TEST(Chipkill, DoubleSymbolFaultsNeverDecodeToTheTrueWordSilently)
+{
+    const Block data{0xa5a5a5a55a5a5a5aULL, 0x5a5a5a5aa5a5a5a5ULL};
+    const std::uint16_t check = ChipkillSsc::encode(data);
+    Rng rng(7);
+    unsigned detected = 0, total = 0;
+    for (int trial = 0; trial < 3000; ++trial) {
+        const unsigned s1 = static_cast<unsigned>(rng.below(16));
+        unsigned s2 = static_cast<unsigned>(rng.below(16));
+        if (s2 == s1)
+            s2 = (s2 + 1) % 16;
+        Block corrupted = data;
+        const std::uint64_t e1 = 1 + rng.below(255);
+        const std::uint64_t e2 = 1 + rng.below(255);
+        auto inject = [&](unsigned sym, std::uint64_t e) {
+            if (sym < 8)
+                corrupted.lo ^= e << (8 * sym);
+            else
+                corrupted.hi ^= e << (8 * (sym - 8));
+        };
+        inject(s1, e1);
+        inject(s2, e2);
+        const auto r = ChipkillSsc::decode(corrupted, check);
+        ASSERT_NE(r.status, ChipkillSsc::Status::Ok);
+        if (r.status == ChipkillSsc::Status::CorrectedSymbol) {
+            ASSERT_NE(r.data, data) << "impossible silent heal";
+        }
+        detected += r.status == ChipkillSsc::Status::DetectedMulti;
+        total += 1;
+    }
+    // A distance-3 symbol code flags a substantial share of doubles
+    // outright (the rest miscorrect into a *different* word, exactly as
+    // SECDED does for triple-bit errors).
+    EXPECT_GT(detected, total / 10);
+}
+
+TEST(Chipkill, EncodeIsLinear)
+{
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+        const Block a{rng.next(), rng.next()};
+        const Block b{rng.next(), rng.next()};
+        const Block x{a.lo ^ b.lo, a.hi ^ b.hi};
+        EXPECT_EQ(ChipkillSsc::encode(x),
+                  ChipkillSsc::encode(a) ^ ChipkillSsc::encode(b));
+    }
+}
+
+TEST(Chipkill, RandomisedRoundTrip)
+{
+    Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        const Block data{rng.next(), rng.next()};
+        const std::uint16_t check = ChipkillSsc::encode(data);
+        const unsigned sym = static_cast<unsigned>(rng.below(16));
+        const std::uint64_t err = 1 + rng.below(255);
+        Block corrupted = data;
+        if (sym < 8)
+            corrupted.lo ^= err << (8 * sym);
+        else
+            corrupted.hi ^= err << (8 * (sym - 8));
+        const auto r = ChipkillSsc::decode(corrupted, check);
+        ASSERT_EQ(r.status, ChipkillSsc::Status::CorrectedSymbol);
+        ASSERT_EQ(r.data, data);
+    }
+}
+
+} // namespace

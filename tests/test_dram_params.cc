@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Device-model tests: the paper's Table 2 timings must survive the
+ * ns -> cycle conversion, and the three devices must keep the relative
+ * properties the paper's argument rests on (RLDRAM fast + power hungry,
+ * LPDDR2 slow + low power, DDR3 in between).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_params.hh"
+
+using namespace hetsim;
+using dram::DeviceKind;
+using dram::DeviceParams;
+using dram::PagePolicy;
+
+namespace
+{
+
+TEST(DeviceParams, CycleConversionCeils)
+{
+    const auto p = DeviceParams::ddr3_1600(); // tCK = 1.25 ns
+    EXPECT_EQ(p.cyc(0.0), 0u);
+    EXPECT_EQ(p.cyc(1.25), 1u);
+    EXPECT_EQ(p.cyc(1.26), 2u);
+    EXPECT_EQ(p.cyc(50.0), 40u);
+    EXPECT_EQ(p.cyc(13.5), 11u);
+}
+
+TEST(DeviceParams, TickConversionUsesDivider)
+{
+    const auto ddr3 = DeviceParams::ddr3_1600();
+    EXPECT_EQ(ddr3.clockDivider, 4u); // 3.2 GHz / 800 MHz
+    EXPECT_EQ(ddr3.ticks(10), 40u);
+    const auto lp = DeviceParams::lpddr2_800();
+    EXPECT_EQ(lp.clockDivider, 8u); // 3.2 GHz / 400 MHz
+    EXPECT_EQ(lp.ticks(10), 80u);
+}
+
+TEST(DeviceParams, Table2TimingsDdr3)
+{
+    const auto p = DeviceParams::ddr3_1600();
+    EXPECT_EQ(p.tRC, 40u);   // 50 ns
+    EXPECT_EQ(p.tRCD, 11u);  // 13.5 ns
+    EXPECT_EQ(p.tRL, 11u);   // 13.5 ns
+    EXPECT_EQ(p.tRP, 11u);   // 13.5 ns
+    EXPECT_EQ(p.tRAS, 30u);  // 37 ns
+    EXPECT_EQ(p.tFAW, 32u);  // 40 ns
+    EXPECT_EQ(p.tWTR, 6u);   // 7.5 ns
+    EXPECT_EQ(p.tRTRS, 2u);
+    EXPECT_EQ(p.policy, PagePolicy::Open);
+}
+
+TEST(DeviceParams, Table2TimingsRldram3)
+{
+    const auto p = DeviceParams::rldram3();
+    EXPECT_EQ(p.tRC, 10u); // 12 ns @ 1.25 ns/cycle
+    EXPECT_EQ(p.tRL, 8u);  // 10 ns
+    EXPECT_EQ(p.tWTR, 0u); // no write-to-read turnaround
+    EXPECT_EQ(p.tFAW, 0u); // no activation window
+    EXPECT_EQ(p.tRCD, 0u); // SRAM-style compound command
+    EXPECT_EQ(p.policy, PagePolicy::Close);
+    EXPECT_EQ(p.banksPerRank, 16u); // twice DDR3's 8
+    EXPECT_FALSE(p.idd.hasPowerDown);
+}
+
+TEST(DeviceParams, Table2TimingsLpddr2)
+{
+    const auto p = DeviceParams::lpddr2_800();
+    EXPECT_EQ(p.tRC, 24u);  // 60 ns @ 2.5 ns/cycle
+    EXPECT_EQ(p.tRCD, 8u);  // 18 ns
+    EXPECT_EQ(p.tRL, 8u);   // 18 ns
+    EXPECT_EQ(p.tRAS, 17u); // 42 ns
+    EXPECT_EQ(p.tFAW, 20u); // 50 ns
+    EXPECT_EQ(p.policy, PagePolicy::Open);
+    EXPECT_TRUE(p.idd.hasPowerDown);
+}
+
+TEST(DeviceParams, LatencyOrderingAcrossDevices)
+{
+    // Core latency ordering in *nanoseconds* must match the paper:
+    // RLDRAM3 << DDR3 < LPDDR2.
+    const auto rl = DeviceParams::rldram3();
+    const auto d3 = DeviceParams::ddr3_1600();
+    const auto lp = DeviceParams::lpddr2_800();
+    EXPECT_LT(rl.tRC * rl.tCkNs, d3.tRC * d3.tCkNs);
+    EXPECT_LT(d3.tRC * d3.tCkNs, lp.tRC * lp.tCkNs);
+    EXPECT_LT(rl.tRL * rl.tCkNs, d3.tRL * d3.tCkNs);
+    EXPECT_LT(d3.tRL * d3.tCkNs, lp.tRL * lp.tCkNs);
+}
+
+TEST(DeviceParams, BackgroundPowerOrdering)
+{
+    // Background standby power: RLDRAM3 >> DDR3 > adapted LPDDR2's
+    // native-mode variant.
+    const auto rl = DeviceParams::rldram3();
+    const auto d3 = DeviceParams::ddr3_1600();
+    const auto lp_native = DeviceParams::lpddr2_800_noOdt();
+    EXPECT_GT(rl.idd.vdd * rl.idd.idd3n, d3.idd.vdd * d3.idd.idd3n);
+    EXPECT_LT(lp_native.idd.vdd * lp_native.idd.idd3n,
+              d3.idd.vdd * d3.idd.idd3n);
+}
+
+TEST(DeviceParams, ServerAdaptedLpddr2KeepsDdr3IdleCurrents)
+{
+    // Paper Section 5: the DLL/ODT-adapted LPDDR2 uses DDR3 background
+    // currents so savings are not inflated.
+    const auto lp = DeviceParams::lpddr2_800();
+    const auto d3 = DeviceParams::ddr3_1600();
+    EXPECT_DOUBLE_EQ(lp.idd.idd2p, d3.idd.idd2p);
+    EXPECT_DOUBLE_EQ(lp.idd.idd2n, d3.idd.idd2n);
+    EXPECT_DOUBLE_EQ(lp.idd.idd3p, d3.idd.idd3p);
+    EXPECT_DOUBLE_EQ(lp.idd.idd3n, d3.idd.idd3n);
+    EXPECT_GT(lp.idd.odtStaticMw, 0.0);
+}
+
+TEST(DeviceParams, MalladiVariantDropsOdtAndDeepensSleep)
+{
+    const auto adapted = DeviceParams::lpddr2_800();
+    const auto native = DeviceParams::lpddr2_800_noOdt();
+    EXPECT_EQ(native.idd.odtStaticMw, 0.0);
+    EXPECT_LT(native.idd.idd2p, adapted.idd.idd2p);
+    EXPECT_LT(native.idd.idd3n, adapted.idd.idd3n);
+    EXPECT_LT(native.powerDownIdle, adapted.powerDownIdle);
+}
+
+TEST(DeviceParams, RankCapacityMatchesGeometry)
+{
+    const auto d3 = DeviceParams::ddr3_1600();
+    // 8 banks x 32768 rows x 128 lines x 64 B = 2 GiB per rank.
+    EXPECT_EQ(d3.rankBytes(), 2ULL << 30);
+}
+
+TEST(DeviceParams, ByKindRoundTrips)
+{
+    EXPECT_EQ(DeviceParams::byKind(DeviceKind::DDR3).kind,
+              DeviceKind::DDR3);
+    EXPECT_EQ(DeviceParams::byKind(DeviceKind::LPDDR2).kind,
+              DeviceKind::LPDDR2);
+    EXPECT_EQ(DeviceParams::byKind(DeviceKind::RLDRAM3).kind,
+              DeviceKind::RLDRAM3);
+}
+
+TEST(DeviceParams, ToStringNames)
+{
+    EXPECT_STREQ(dram::toString(DeviceKind::DDR3), "DDR3");
+    EXPECT_STREQ(dram::toString(DeviceKind::LPDDR2), "LPDDR2");
+    EXPECT_STREQ(dram::toString(DeviceKind::RLDRAM3), "RLDRAM3");
+    EXPECT_STREQ(dram::toString(PagePolicy::Open), "open");
+    EXPECT_STREQ(dram::toString(PagePolicy::Close), "close");
+}
+
+} // namespace

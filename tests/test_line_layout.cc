@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Critical-word placement policy tests: static word-0, adaptive
+ * last-critical-word prediction with writeback-gated commits, the oracle
+ * upper bound, and the deterministic random mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/line_layout.hh"
+
+using namespace hetsim;
+using namespace hetsim::cwf;
+
+namespace
+{
+
+TEST(StaticLayout, AlwaysWordZero)
+{
+    StaticLayout layout;
+    for (Addr line = 0; line < 4096; line += 64) {
+        EXPECT_EQ(layout.plannedWord(line, 5, true), 0u);
+        EXPECT_EQ(layout.plannedWord(line, 0, false), 0u);
+    }
+    EXPECT_STREQ(layout.name(), "static-word0");
+}
+
+TEST(AdaptiveLayout, DefaultsToWordZero)
+{
+    AdaptiveLayout layout;
+    EXPECT_EQ(layout.plannedWord(0x1000, 5, true), 0u)
+        << "unseen lines start at word 0";
+}
+
+TEST(AdaptiveLayout, CommitsOnlyOnWriteback)
+{
+    AdaptiveLayout layout;
+    // Observe word 5 as critical; without a writeback the stored word
+    // stays 0 ("unless a word is written to, its organization in main
+    // memory is not altered" - Section 6.1.2).
+    EXPECT_EQ(layout.plannedWord(0x1000, 5, true), 0u);
+    EXPECT_EQ(layout.plannedWord(0x1000, 5, true), 0u);
+    layout.onWriteback(0x1000);
+    EXPECT_EQ(layout.plannedWord(0x1000, 3, true), 5u);
+}
+
+TEST(AdaptiveLayout, TracksLastObservedCriticalWord)
+{
+    AdaptiveLayout layout;
+    layout.plannedWord(0x1000, 2, true);
+    layout.plannedWord(0x1000, 7, true); // latest observation wins
+    layout.onWriteback(0x1000);
+    EXPECT_EQ(layout.plannedWord(0x1000, 0, true), 7u);
+}
+
+TEST(AdaptiveLayout, PrefetchesDoNotTrain)
+{
+    AdaptiveLayout layout;
+    layout.plannedWord(0x1000, 6, /*is_demand=*/false);
+    layout.onWriteback(0x1000);
+    EXPECT_EQ(layout.plannedWord(0x1000, 0, true), 0u)
+        << "prefetch observations must not pollute the predictor";
+}
+
+TEST(AdaptiveLayout, WritebackWithoutObservationIsNoop)
+{
+    AdaptiveLayout layout;
+    layout.onWriteback(0x2000);
+    EXPECT_EQ(layout.plannedWord(0x2000, 1, true), 0u);
+    EXPECT_EQ(layout.trackedLines(), 0u);
+}
+
+TEST(AdaptiveLayout, RemapCounterCountsChanges)
+{
+    AdaptiveLayout layout;
+    layout.plannedWord(0x1000, 4, true);
+    layout.onWriteback(0x1000); // 0 -> 4: remap
+    EXPECT_EQ(layout.remaps().value(), 1u);
+    layout.plannedWord(0x1000, 4, true);
+    layout.onWriteback(0x1000); // 4 -> 4: no change
+    EXPECT_EQ(layout.remaps().value(), 1u);
+    layout.plannedWord(0x1000, 1, true);
+    layout.onWriteback(0x1000); // 4 -> 1: remap
+    EXPECT_EQ(layout.remaps().value(), 2u);
+}
+
+TEST(AdaptiveLayout, LinesAreIndependent)
+{
+    AdaptiveLayout layout;
+    layout.plannedWord(0x1000, 3, true);
+    layout.plannedWord(0x2000, 6, true);
+    layout.onWriteback(0x1000);
+    EXPECT_EQ(layout.plannedWord(0x1000, 0, true), 3u);
+    EXPECT_EQ(layout.plannedWord(0x2000, 0, true), 0u)
+        << "0x2000 was never written back";
+}
+
+TEST(OracleLayout, AlwaysMatchesDemandRequest)
+{
+    OracleLayout layout;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        EXPECT_EQ(layout.plannedWord(0x40 * w, w, true), w);
+    EXPECT_EQ(layout.plannedWord(0x1000, 9999, false), 0u)
+        << "prefetches default to word 0";
+}
+
+TEST(RandomLayout, DeterministicPerLine)
+{
+    RandomLayout a, b;
+    for (Addr line = 0; line < 1 << 16; line += 64)
+        EXPECT_EQ(a.plannedWord(line, 0, true),
+                  b.plannedWord(line, 0, true));
+}
+
+TEST(RandomLayout, RoughlyUniformOverWords)
+{
+    RandomLayout layout;
+    std::map<unsigned, unsigned> hist;
+    const unsigned lines = 8000;
+    for (unsigned i = 0; i < lines; ++i)
+        hist[layout.plannedWord(static_cast<Addr>(i) * 64, 0, true)] += 1;
+    ASSERT_EQ(hist.size(), kWordsPerLine);
+    for (const auto &[w, n] : hist)
+        EXPECT_NEAR(n, lines / kWordsPerLine, lines / 20.0)
+            << "word " << w;
+}
+
+TEST(RandomLayout, MatchesWordZeroOneEighthOfTheTime)
+{
+    // This is the paper's random-mapping sanity experiment: with the
+    // critical word 7x more likely to sit in LPDRAM, word-0 requests
+    // find it on the fast DIMM ~1/8th of the time.
+    RandomLayout layout;
+    unsigned match = 0;
+    const unsigned lines = 16000;
+    for (unsigned i = 0; i < lines; ++i)
+        match += layout.plannedWord(static_cast<Addr>(i) * 64, 0, true) ==
+                 0;
+    EXPECT_NEAR(match / static_cast<double>(lines), 0.125, 0.02);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Metric tests: the paper's weighted-throughput formula and the suite
+ * aggregation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/metrics.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+namespace
+{
+
+TEST(WeightedThroughput, EqualSharedAndAloneGivesCoreCount)
+{
+    const std::vector<double> shared(8, 1.5);
+    EXPECT_NEAR(weightedThroughput(shared, 1.5), 8.0, 1e-12);
+}
+
+TEST(WeightedThroughput, ScalesWithSharedIpc)
+{
+    const std::vector<double> shared(8, 0.5);
+    EXPECT_NEAR(weightedThroughput(shared, 1.0), 4.0, 1e-12);
+}
+
+TEST(WeightedThroughput, PerCoreAloneForm)
+{
+    const std::vector<double> shared{1.0, 2.0};
+    const std::vector<double> alone{2.0, 2.0};
+    EXPECT_NEAR(weightedThroughput(shared, alone), 0.5 + 1.0, 1e-12);
+}
+
+TEST(WeightedThroughput, MismatchedSizesPanic)
+{
+    setLogThrowOnError(true);
+    const std::vector<double> shared{1.0, 2.0};
+    const std::vector<double> alone{2.0};
+    EXPECT_THROW(weightedThroughput(shared, alone), SimError);
+    EXPECT_THROW(weightedThroughput(shared, 0.0), SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(Mean, BasicAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Geomean, BasicAndEmpty)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, RejectsNonPositive)
+{
+    setLogThrowOnError(true);
+    EXPECT_THROW(geomean({1.0, 0.0}), SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(Geomean, BelowMeanForSkewedData)
+{
+    const std::vector<double> v{0.5, 2.0, 8.0};
+    EXPECT_LT(geomean(v), mean(v));
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * MSHR-file tests: allocation/lookup/release life cycle, capacity
+ * behaviour, stable handles with staleness detection, and the two-part
+ * (critical + rest-of-line) completion state the CWF design needs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+#include "common/log.hh"
+
+using namespace hetsim;
+using cache::MshrEntry;
+using cache::MshrFile;
+using cache::MshrWaiter;
+
+namespace
+{
+
+TEST(MshrFile, AllocateFindRelease)
+{
+    MshrFile file(4);
+    EXPECT_TRUE(file.hasFree());
+    MshrEntry *e = file.allocate(0x1000, 5);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->lineAddr, 0x1000u);
+    EXPECT_EQ(e->allocTick, 5u);
+    EXPECT_EQ(file.find(0x1000), e);
+    EXPECT_EQ(file.inUse(), 1u);
+    file.release(*e);
+    EXPECT_EQ(file.find(0x1000), nullptr);
+    EXPECT_EQ(file.inUse(), 0u);
+}
+
+TEST(MshrFile, CapacityExhaustionReturnsNull)
+{
+    MshrFile file(2);
+    EXPECT_NE(file.allocate(0x40, 0), nullptr);
+    EXPECT_NE(file.allocate(0x80, 0), nullptr);
+    EXPECT_FALSE(file.hasFree());
+    EXPECT_EQ(file.allocate(0xc0, 0), nullptr);
+    file.noteFullStall();
+    EXPECT_EQ(file.fullStalls().value(), 1u);
+}
+
+TEST(MshrFile, HandlesSurviveOtherReleases)
+{
+    MshrFile file(4);
+    MshrEntry *a = file.allocate(0x40, 0);
+    MshrEntry *b = file.allocate(0x80, 0);
+    const std::uint64_t id_b = b->id;
+    file.release(*a);
+    EXPECT_EQ(&file.byId(id_b), b);
+}
+
+TEST(MshrFile, StaleHandlePanics)
+{
+    setLogThrowOnError(true);
+    MshrFile file(2);
+    MshrEntry *e = file.allocate(0x40, 0);
+    const std::uint64_t id = e->id;
+    file.release(*e);
+    EXPECT_THROW(file.byId(id), SimError);
+    // Slot reuse must mint a distinct handle.
+    MshrEntry *e2 = file.allocate(0x40, 1);
+    EXPECT_NE(e2->id, id);
+    EXPECT_THROW(file.byId(id), SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(MshrFile, DuplicateLinePanics)
+{
+    setLogThrowOnError(true);
+    MshrFile file(4);
+    file.allocate(0x40, 0);
+    EXPECT_THROW(file.allocate(0x40, 1), SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(MshrFile, ReleaseClearsWaiters)
+{
+    MshrFile file(2);
+    MshrEntry *e = file.allocate(0x40, 0);
+    e->waiters.push_back(MshrWaiter{0, 3, 0});
+    file.release(*e);
+    MshrEntry *e2 = file.allocate(0x40, 1);
+    EXPECT_TRUE(e2->waiters.empty());
+    EXPECT_FALSE(e2->fastArrived);
+    EXPECT_FALSE(e2->slowArrived);
+}
+
+TEST(MshrEntry, TwoPartCompletionSemantics)
+{
+    MshrEntry e;
+    e.storedCriticalWord = 0;
+    EXPECT_FALSE(e.complete());
+    e.fastArrived = true;
+    EXPECT_FALSE(e.complete()) << "fast fragment alone is not complete";
+    e.slowArrived = true;
+    EXPECT_TRUE(e.complete());
+}
+
+TEST(MshrEntry, UnfragmentedLineCompletesOnSlowOnly)
+{
+    MshrEntry e;
+    e.storedCriticalWord = MshrEntry::kNoFastWord;
+    e.slowArrived = true;
+    EXPECT_TRUE(e.complete());
+}
+
+TEST(MshrFile, ManyChurnCyclesStayConsistent)
+{
+    MshrFile file(8);
+    for (int round = 0; round < 100; ++round) {
+        std::vector<MshrEntry *> live;
+        for (int i = 0; i < 8; ++i) {
+            MshrEntry *e =
+                file.allocate(static_cast<Addr>(round * 8 + i) << 6,
+                              static_cast<Tick>(round));
+            ASSERT_NE(e, nullptr);
+            live.push_back(e);
+        }
+        EXPECT_FALSE(file.hasFree());
+        for (MshrEntry *e : live)
+            file.release(*e);
+        EXPECT_EQ(file.inUse(), 0u);
+    }
+    EXPECT_EQ(file.allocations().value(), 800u);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Page-placement comparison system tests (paper Section 7.1): hot-page
+ * selection, routing of hot pages to the RLDRAM channel and cold pages
+ * to the LPDDR2 channels, and the latency advantage of hot residency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hetero_memory.hh"
+#include "dram/dram_params.hh"
+
+using namespace hetsim;
+using namespace hetsim::cwf;
+using dram::DeviceParams;
+
+namespace
+{
+
+PagePlacementMemory::Params
+ppParams()
+{
+    PagePlacementMemory::Params p;
+    p.slowDevice = DeviceParams::lpddr2_800();
+    p.fastDevice = DeviceParams::rldram3();
+    p.slowChannels = 3;
+    return p;
+}
+
+TEST(HotPageSelection, PicksTopByCount)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> counts{
+        {1, 100}, {2, 50}, {3, 200}, {4, 10}, {5, 150}};
+    const auto hot = PagePlacementMemory::selectHotPages(counts, 2);
+    EXPECT_EQ(hot.size(), 2u);
+    EXPECT_TRUE(hot.count(3));
+    EXPECT_TRUE(hot.count(5));
+}
+
+TEST(HotPageSelection, BudgetLargerThanPopulation)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> counts{{1, 1},
+                                                            {2, 2}};
+    const auto hot = PagePlacementMemory::selectHotPages(counts, 10);
+    EXPECT_EQ(hot.size(), 2u);
+}
+
+TEST(HotPageSelection, TieBreakIsDeterministic)
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> counts{
+        {7, 5}, {3, 5}, {9, 5}};
+    const auto a = PagePlacementMemory::selectHotPages(counts, 2);
+    const auto b = PagePlacementMemory::selectHotPages(counts, 2);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(a.count(3));
+    EXPECT_TRUE(a.count(7));
+}
+
+class PagePlacementTest : public ::testing::Test
+{
+  protected:
+    void
+    build(std::unordered_set<std::uint64_t> hot)
+    {
+        mem = std::make_unique<PagePlacementMemory>(ppParams(),
+                                                    std::move(hot));
+        mem->setCallbacks(MemoryBackend::Callbacks{
+            nullptr,
+            [this](std::uint64_t id, Tick at) {
+                completions.emplace_back(id, at);
+            },
+        });
+    }
+
+    void
+    run(Tick to)
+    {
+        for (Tick t = 0; t <= to; ++t)
+            mem->tick(t);
+    }
+
+    std::unique_ptr<PagePlacementMemory> mem;
+    std::vector<std::pair<std::uint64_t, Tick>> completions;
+};
+
+TEST_F(PagePlacementTest, RoutesHotPagesToFastChannel)
+{
+    // Page 0 hot, page 1 cold.
+    build({0});
+    mem->requestFill(MemoryBackend::FillRequest{0x0, 0, false, 0, 1}, 0);
+    mem->requestFill(MemoryBackend::FillRequest{0x1000, 0, false, 0, 2},
+                     0);
+    run(30000);
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(mem->fastAccesses().value(), 1u);
+    EXPECT_EQ(mem->slowAccesses().value(), 1u);
+}
+
+TEST_F(PagePlacementTest, HotAccessIsFasterThanCold)
+{
+    build({0});
+    mem->requestFill(MemoryBackend::FillRequest{0x0, 0, false, 0, 1}, 0);
+    mem->requestFill(MemoryBackend::FillRequest{0x1000, 0, false, 0, 2},
+                     0);
+    run(30000);
+    ASSERT_EQ(completions.size(), 2u);
+    Tick hot_done = 0, cold_done = 0;
+    for (const auto &[id, at] : completions) {
+        if (id == 1)
+            hot_done = at;
+        else
+            cold_done = at;
+    }
+    EXPECT_LT(hot_done, cold_done);
+}
+
+TEST_F(PagePlacementTest, NoFragmentation)
+{
+    build({});
+    EXPECT_EQ(mem->plannedCriticalWord(0x0, 3, true), kNoFastWord);
+}
+
+TEST_F(PagePlacementTest, WritebacksRouteLikeFills)
+{
+    build({0});
+    mem->requestWriteback(0x0, 0);    // hot
+    mem->requestWriteback(0x1000, 0); // cold
+    run(30000);
+    EXPECT_TRUE(mem->idle());
+}
+
+TEST_F(PagePlacementTest, ColdTrafficSpreadsOverThreeChannels)
+{
+    build({});
+    for (std::uint64_t line = 0; line < 9; ++line) {
+        mem->requestFill(MemoryBackend::FillRequest{
+                             line << kLineShift, 0, false, 0, line},
+                         0);
+    }
+    run(60000);
+    EXPECT_EQ(completions.size(), 9u);
+    EXPECT_EQ(mem->slowAccesses().value(), 9u);
+    EXPECT_EQ(mem->fastAccesses().value(), 0u);
+}
+
+} // namespace

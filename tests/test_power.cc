@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Power-model tests: per-event energies, state-residency background
+ * integration, the Fig. 2 power-vs-utilization curve shape (RLDRAM3
+ * dominates at low utilization, gaps shrink at high utilization, LPDDR2
+ * cheapest), and the Section 6.1.3 system-energy arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_params.hh"
+#include "power/chip_power.hh"
+#include "power/system_energy.hh"
+
+using namespace hetsim;
+using dram::DeviceParams;
+using dram::RankActivity;
+using power::ChipPowerModel;
+using power::RunEnergyInput;
+using power::SystemEnergyModel;
+
+namespace
+{
+
+TEST(ChipPower, PerEventEnergiesArePositive)
+{
+    for (const auto kind :
+         {dram::DeviceKind::DDR3, dram::DeviceKind::LPDDR2,
+          dram::DeviceKind::RLDRAM3}) {
+        const ChipPowerModel m(DeviceParams::byKind(kind));
+        EXPECT_GT(m.activateEnergyPj(), 0.0) << dram::toString(kind);
+        EXPECT_GT(m.readBurstEnergyPj(), 0.0);
+        EXPECT_GT(m.writeBurstEnergyPj(), 0.0);
+        EXPECT_GT(m.ioEnergyPerReadPj(), 0.0);
+    }
+}
+
+TEST(ChipPower, BackgroundScalesWithResidency)
+{
+    const ChipPowerModel m(DeviceParams::ddr3_1600());
+    RankActivity a;
+    a.preStbyTicks = 1000;
+    a.windowTicks = 1000;
+    const double e1 = m.chipBreakdown(a).backgroundPj;
+    a.preStbyTicks = 2000;
+    a.windowTicks = 2000;
+    const double e2 = m.chipBreakdown(a).backgroundPj;
+    EXPECT_NEAR(e2, 2 * e1, 1e-9);
+}
+
+TEST(ChipPower, PowerDownIsCheaperThanStandby)
+{
+    const ChipPowerModel m(DeviceParams::ddr3_1600());
+    RankActivity standby, pdn;
+    standby.preStbyTicks = standby.windowTicks = 100000;
+    pdn.pdnTicks = pdn.windowTicks = 100000;
+    EXPECT_LT(m.chipBreakdown(pdn).backgroundPj,
+              m.chipBreakdown(standby).backgroundPj);
+}
+
+TEST(ChipPower, ActiveStandbyCostsMoreThanPrecharged)
+{
+    const ChipPowerModel m(DeviceParams::ddr3_1600());
+    RankActivity act, pre;
+    act.actStbyTicks = act.windowTicks = 100000;
+    pre.preStbyTicks = pre.windowTicks = 100000;
+    EXPECT_GT(m.chipBreakdown(act).backgroundPj,
+              m.chipBreakdown(pre).backgroundPj);
+}
+
+TEST(ChipPower, BreakdownSumsToTotal)
+{
+    const ChipPowerModel m(DeviceParams::lpddr2_800());
+    RankActivity a;
+    a.activates = 100;
+    a.reads = 80;
+    a.writes = 20;
+    a.refreshes = 2;
+    a.actStbyTicks = 50000;
+    a.preStbyTicks = 30000;
+    a.pdnTicks = 20000;
+    a.windowTicks = 100000;
+    const auto b = m.chipBreakdown(a);
+    EXPECT_NEAR(b.totalPj(),
+                b.backgroundPj + b.activatePj + b.burstPj + b.ioTermPj +
+                    b.refreshPj + b.odtStaticPj,
+                1e-9);
+    EXPECT_NEAR(m.chipEnergyPj(a), b.totalPj(), 1e-9);
+}
+
+TEST(ChipPower, RankEnergyScalesWithChips)
+{
+    const ChipPowerModel m(DeviceParams::ddr3_1600());
+    RankActivity a;
+    a.reads = 10;
+    a.preStbyTicks = a.windowTicks = 1000;
+    EXPECT_NEAR(m.rankEnergyPj(a, 9), 9 * m.chipEnergyPj(a), 1e-9);
+}
+
+TEST(ChipPower, AveragePowerMatchesEnergyOverWindow)
+{
+    const ChipPowerModel m(DeviceParams::ddr3_1600());
+    RankActivity a;
+    a.preStbyTicks = a.windowTicks = 320000; // 100 us at 3.2 GHz
+    const double mw = m.chipPowerMw(a);
+    const double window_ns = 320000 * dram::kTickNs;
+    EXPECT_NEAR(mw, m.chipEnergyPj(a) / window_ns, 1e-9);
+    EXPECT_GT(mw, 0.0);
+}
+
+// ------------------------------------------- Fig. 2 curve shape
+
+TEST(Fig2Curve, RldramDominatesAtZeroUtilization)
+{
+    const double rl = ChipPowerModel::powerAtUtilizationMw(
+        DeviceParams::rldram3(), 0.0);
+    const double d3 = ChipPowerModel::powerAtUtilizationMw(
+        DeviceParams::ddr3_1600(), 0.0);
+    const double lp = ChipPowerModel::powerAtUtilizationMw(
+        DeviceParams::lpddr2_800_noOdt(), 0.0);
+    EXPECT_GT(rl, 1.5 * d3) << "RLDRAM3 background must dominate";
+    EXPECT_LT(lp, d3) << "mobile LPDDR2 must idle cheapest";
+}
+
+TEST(Fig2Curve, GapShrinksWithUtilization)
+{
+    const auto rl_dev = DeviceParams::rldram3();
+    const auto d3_dev = DeviceParams::ddr3_1600();
+    const double ratio_low =
+        ChipPowerModel::powerAtUtilizationMw(rl_dev, 0.05) /
+        ChipPowerModel::powerAtUtilizationMw(d3_dev, 0.05);
+    const double ratio_high =
+        ChipPowerModel::powerAtUtilizationMw(rl_dev, 0.8) /
+        ChipPowerModel::powerAtUtilizationMw(d3_dev, 0.8);
+    EXPECT_LT(ratio_high, ratio_low)
+        << "power gap must shrink at high utilization (Fig. 2)";
+}
+
+TEST(Fig2Curve, MonotonicInUtilization)
+{
+    for (const auto kind :
+         {dram::DeviceKind::DDR3, dram::DeviceKind::LPDDR2,
+          dram::DeviceKind::RLDRAM3}) {
+        const auto dev = DeviceParams::byKind(kind);
+        double prev = 0;
+        for (double u = 0.0; u <= 1.0; u += 0.1) {
+            const double p = ChipPowerModel::powerAtUtilizationMw(dev, u);
+            EXPECT_GE(p, prev) << dram::toString(kind) << " at " << u;
+            prev = p;
+        }
+    }
+}
+
+// --------------------------------------- system energy (Sec 6.1.3)
+
+TEST(SystemEnergy, IdenticalRunsNormalizeToOne)
+{
+    RunEnergyInput base{1000.0, 8.0, 1.0};
+    const auto r = SystemEnergyModel::compare(base, base);
+    EXPECT_NEAR(r.systemEnergyNorm, 1.0, 1e-9);
+    EXPECT_NEAR(r.dramEnergyNorm, 1.0, 1e-9);
+    EXPECT_NEAR(r.dramPowerNorm, 1.0, 1e-9);
+}
+
+TEST(SystemEnergy, DramIsQuarterOfBaselineSystem)
+{
+    RunEnergyInput base{1000.0, 8.0, 1.0};
+    const auto r = SystemEnergyModel::compare(base, base);
+    EXPECT_NEAR(r.systemPowerMw, 4000.0, 1e-6);
+    EXPECT_NEAR(r.cpuPowerMw, 3000.0, 1e-6);
+}
+
+TEST(SystemEnergy, FasterRunSavesEnergyEvenAtSamePower)
+{
+    RunEnergyInput base{1000.0, 8.0, 1.0};
+    RunEnergyInput faster{1000.0, 9.0, 8.0 / 9.0}; // same work quicker
+    const auto r = SystemEnergyModel::compare(base, faster);
+    // CPU dynamic power rises with IPC but runtime shrinks more.
+    EXPECT_LT(r.systemEnergyNorm, 1.0);
+    EXPECT_LT(r.dramEnergyNorm, 1.0);
+}
+
+TEST(SystemEnergy, CpuStaticShareIsOneThird)
+{
+    RunEnergyInput base{1000.0, 8.0, 1.0};
+    // A config with near-zero activity only pays the static third.
+    RunEnergyInput idle{1000.0, 1e-9, 1.0};
+    const auto r = SystemEnergyModel::compare(base, idle);
+    EXPECT_NEAR(r.cpuPowerMw, 1000.0, 1e-3); // 1/3 of 3000 mW
+}
+
+TEST(SystemEnergy, LowerDramPowerLowersSystemEnergy)
+{
+    RunEnergyInput base{1000.0, 8.0, 1.0};
+    RunEnergyInput lp{800.0, 8.0, 1.0};
+    const auto r = SystemEnergyModel::compare(base, lp);
+    EXPECT_NEAR(r.dramPowerNorm, 0.8, 1e-9);
+    EXPECT_NEAR(r.systemEnergyNorm, 3800.0 / 4000.0, 1e-9);
+}
+
+} // namespace

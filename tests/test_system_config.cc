@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Configuration-factory tests: every named configuration builds a
+ * backend with the right device composition, layouts match the config,
+ * and names round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/system_config.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+namespace
+{
+
+TEST(MemConfigNames, RoundTrip)
+{
+    for (const MemConfig c : allMemConfigs())
+        EXPECT_EQ(memConfigByName(toString(c)), c);
+}
+
+TEST(MemConfigNames, UnknownIsFatal)
+{
+    setLogThrowOnError(true);
+    EXPECT_THROW(memConfigByName("bogus"), SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(MemConfigNames, CoversThirteenConfigs)
+{
+    EXPECT_EQ(allMemConfigs().size(), 13u);
+}
+
+TEST(BuildBackend, EveryConfigConstructs)
+{
+    for (const MemConfig c : allMemConfigs()) {
+        SystemParams p;
+        p.mem = c;
+        const auto backend = buildBackend(p);
+        ASSERT_NE(backend, nullptr) << toString(c);
+        EXPECT_TRUE(backend->idle());
+    }
+}
+
+TEST(BuildBackend, HomogeneousNames)
+{
+    SystemParams p;
+    p.mem = MemConfig::BaselineDDR3;
+    EXPECT_STREQ(buildBackend(p)->name(), "Homogeneous-DDR3");
+    p.mem = MemConfig::HomoRLDRAM3;
+    EXPECT_STREQ(buildBackend(p)->name(), "Homogeneous-RLDRAM3");
+    p.mem = MemConfig::HomoLPDDR2;
+    EXPECT_STREQ(buildBackend(p)->name(), "Homogeneous-LPDDR2");
+}
+
+TEST(BuildBackend, CwfConfigsUseExpectedLayouts)
+{
+    auto planned = [](MemConfig c, Addr line, unsigned word) {
+        SystemParams p;
+        p.mem = c;
+        auto backend = buildBackend(p);
+        return backend->plannedCriticalWord(line, word, true);
+    };
+    // Static configurations always pick word 0.
+    EXPECT_EQ(planned(MemConfig::CwfRL, 0x1000, 5), 0u);
+    EXPECT_EQ(planned(MemConfig::CwfRD, 0x1000, 5), 0u);
+    EXPECT_EQ(planned(MemConfig::CwfDL, 0x1000, 5), 0u);
+    // The oracle matches the request.
+    EXPECT_EQ(planned(MemConfig::CwfRLOracle, 0x1000, 5), 5u);
+    // Homogeneous systems do not fragment lines.
+    EXPECT_EQ(planned(MemConfig::BaselineDDR3, 0x1000, 5),
+              cwf::kNoFastWord);
+    EXPECT_EQ(planned(MemConfig::PagePlacement, 0x1000, 5),
+              cwf::kNoFastWord);
+    // The HMC sketch rides the requested word on a priority packet.
+    EXPECT_EQ(planned(MemConfig::HmcCdf, 0x1000, 5), 5u);
+    EXPECT_EQ(planned(MemConfig::HmcBaseline, 0x1000, 5),
+              cwf::kNoFastWord);
+}
+
+TEST(BuildBackend, RandomLayoutIsLineHashed)
+{
+    SystemParams p;
+    p.mem = MemConfig::CwfRLRandom;
+    auto backend = buildBackend(p);
+    const unsigned a = backend->plannedCriticalWord(0x1000, 0, true);
+    const unsigned b = backend->plannedCriticalWord(0x1000, 3, true);
+    EXPECT_EQ(a, b) << "random layout depends on the line, not request";
+}
+
+TEST(SystemParams, CacheKeyDistinguishesConfigs)
+{
+    SystemParams a, b;
+    a.mem = MemConfig::CwfRL;
+    b.mem = MemConfig::CwfRD;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    b = a;
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+    b.prefetcherEnabled = false;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    b = a;
+    b.seed += 1;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+}
+
+} // namespace

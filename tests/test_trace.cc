@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Trace-source tests: parsing (all record kinds, comments, errors),
+ * looping, ALU batching, per-core rebasing, and an end-to-end run of a
+ * trace-driven core against the RL memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "workloads/trace.hh"
+
+using namespace hetsim;
+using workloads::MicroOp;
+using workloads::TraceSource;
+
+namespace
+{
+
+TEST(TraceParse, AllRecordKinds)
+{
+    auto t = TraceSource::fromString(R"(# a comment
+R 1000
+W 2008
+D 3f10
+N 3
+)");
+    EXPECT_EQ(t.records(), 4u);
+
+    MicroOp op = t.next();
+    EXPECT_TRUE(op.isMem);
+    EXPECT_FALSE(op.isWrite);
+    EXPECT_EQ(op.addr, 0x1000u);
+
+    op = t.next();
+    EXPECT_TRUE(op.isWrite);
+    EXPECT_EQ(op.addr, 0x2008u);
+
+    op = t.next();
+    EXPECT_TRUE(op.dependsOnPrev);
+    EXPECT_EQ(op.addr, 0x3f10u);
+
+    for (int i = 0; i < 3; ++i) {
+        op = t.next();
+        EXPECT_FALSE(op.isMem) << i;
+    }
+}
+
+TEST(TraceParse, AddressesAreWordAligned)
+{
+    auto t = TraceSource::fromString("R 1003\n");
+    EXPECT_EQ(t.next().addr, 0x1000u);
+}
+
+TEST(TraceParse, LoopsWhenExhausted)
+{
+    auto t = TraceSource::fromString("R 40\nR 80\n");
+    EXPECT_EQ(t.next().addr, 0x40u);
+    EXPECT_EQ(t.next().addr, 0x80u);
+    EXPECT_EQ(t.next().addr, 0x40u) << "trace must wrap";
+}
+
+TEST(TraceParse, RewindRestarts)
+{
+    auto t = TraceSource::fromString("R 40\nN 5\nR 80\n");
+    t.next();
+    t.next();
+    t.rewind();
+    EXPECT_EQ(t.next().addr, 0x40u);
+}
+
+TEST(TraceParse, RebaseShiftsAddresses)
+{
+    auto t = TraceSource::fromString("R 100\n");
+    EXPECT_EQ(t.next(1ULL << 30).addr, (1ULL << 30) + 0x100);
+}
+
+TEST(TraceParse, MalformedRecordsAreFatal)
+{
+    setLogThrowOnError(true);
+    EXPECT_THROW(TraceSource::fromString("X 100\n"), SimError);
+    EXPECT_THROW(TraceSource::fromString("R zz\n"), SimError);
+    EXPECT_THROW(TraceSource::fromString("N 0\n"), SimError);
+    EXPECT_THROW(TraceSource::fromString("R\n"), SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(TraceParse, FileRoundTrip)
+{
+    const std::string path = "/tmp/hetsim_trace_test.txt";
+    {
+        std::ofstream out(path);
+        out << "# demo\nR 1000\nW 1040\nN 2\n";
+    }
+    auto t = TraceSource::fromFile(path);
+    EXPECT_EQ(t.records(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceParse, MissingFileIsFatal)
+{
+    setLogThrowOnError(true);
+    EXPECT_THROW(TraceSource::fromFile("/nonexistent/trace.txt"),
+                 SimError);
+    setLogThrowOnError(false);
+}
+
+TEST(TraceDriven, RunsAgainstTheRlMemorySystem)
+{
+    // A looping word-0 streaming trace through the full stack: trace ->
+    // core -> hierarchy -> CWF memory; critical words must be served
+    // from the fast DIMM.
+    std::string text;
+    for (int i = 0; i < 256; ++i) {
+        text += "R " + [](Addr a) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%llx",
+                          static_cast<unsigned long long>(a));
+            return std::string(buf);
+        }(0x100000 + i * 64) + "\nN 8\n";
+    }
+    auto trace = TraceSource::fromString(text);
+
+    sim::SystemParams params;
+    params.mem = sim::MemConfig::CwfRL;
+    auto backend = sim::buildBackend(params);
+    cache::Hierarchy::Params hp;
+    hp.cores = 1;
+    cache::Hierarchy hierarchy(hp, *backend);
+    cpu::Core core(0, cpu::Core::Params{},
+                   [&trace] { return trace.next(); }, hierarchy);
+    hierarchy.setWakeFn([&core](std::uint8_t, std::uint16_t slot,
+                                Tick when) { core.wake(slot, when); });
+
+    for (Tick t = 0; t < 400000; ++t) {
+        core.tick(t);
+        hierarchy.tick(t);
+        backend->tick(t);
+    }
+    EXPECT_GT(core.retired(), 1000u);
+    const auto &stats = hierarchy.stats();
+    EXPECT_GT(stats.demandMisses.value(), 100u);
+    EXPECT_GT(stats.servedByFast.value(),
+              stats.demandMisses.value() / 2)
+        << "word-0 trace must hit the fast DIMM";
+}
+
+} // namespace
