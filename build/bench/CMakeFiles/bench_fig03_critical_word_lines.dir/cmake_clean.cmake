@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_critical_word_lines.dir/bench_fig03_critical_word_lines.cc.o"
+  "CMakeFiles/bench_fig03_critical_word_lines.dir/bench_fig03_critical_word_lines.cc.o.d"
+  "bench_fig03_critical_word_lines"
+  "bench_fig03_critical_word_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_critical_word_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

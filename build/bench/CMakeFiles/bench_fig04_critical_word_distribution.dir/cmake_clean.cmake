@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_critical_word_distribution.dir/bench_fig04_critical_word_distribution.cc.o"
+  "CMakeFiles/bench_fig04_critical_word_distribution.dir/bench_fig04_critical_word_distribution.cc.o.d"
+  "bench_fig04_critical_word_distribution"
+  "bench_fig04_critical_word_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_critical_word_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_adaptive_oracle.dir/bench_fig09_adaptive_oracle.cc.o"
+  "CMakeFiles/bench_fig09_adaptive_oracle.dir/bench_fig09_adaptive_oracle.cc.o.d"
+  "bench_fig09_adaptive_oracle"
+  "bench_fig09_adaptive_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_adaptive_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

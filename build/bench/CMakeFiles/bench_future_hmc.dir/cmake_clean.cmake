@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_hmc.dir/bench_future_hmc.cc.o"
+  "CMakeFiles/bench_future_hmc.dir/bench_future_hmc.cc.o.d"
+  "bench_future_hmc"
+  "bench_future_hmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_no_prefetcher.dir/bench_sec61_no_prefetcher.cc.o"
+  "CMakeFiles/bench_sec61_no_prefetcher.dir/bench_sec61_no_prefetcher.cc.o.d"
+  "bench_sec61_no_prefetcher"
+  "bench_sec61_no_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_no_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec61_no_prefetcher.
+# This may be replaced when dependencies are built.

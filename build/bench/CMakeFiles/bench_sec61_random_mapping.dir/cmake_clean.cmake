@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_random_mapping.dir/bench_sec61_random_mapping.cc.o"
+  "CMakeFiles/bench_sec61_random_mapping.dir/bench_sec61_random_mapping.cc.o.d"
+  "bench_sec61_random_mapping"
+  "bench_sec61_random_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_random_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec71_page_placement.dir/bench_sec71_page_placement.cc.o"
+  "CMakeFiles/bench_sec71_page_placement.dir/bench_sec71_page_placement.cc.o.d"
+  "bench_sec71_page_placement"
+  "bench_sec71_page_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec71_page_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

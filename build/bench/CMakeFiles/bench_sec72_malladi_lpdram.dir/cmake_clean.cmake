@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec72_malladi_lpdram.dir/bench_sec72_malladi_lpdram.cc.o"
+  "CMakeFiles/bench_sec72_malladi_lpdram.dir/bench_sec72_malladi_lpdram.cc.o.d"
+  "bench_sec72_malladi_lpdram"
+  "bench_sec72_malladi_lpdram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec72_malladi_lpdram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

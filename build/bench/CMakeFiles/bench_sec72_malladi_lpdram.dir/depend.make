@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec72_malladi_lpdram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_vs_pointer_chase.dir/streaming_vs_pointer_chase.cpp.o"
+  "CMakeFiles/streaming_vs_pointer_chase.dir/streaming_vs_pointer_chase.cpp.o.d"
+  "streaming_vs_pointer_chase"
+  "streaming_vs_pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_vs_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

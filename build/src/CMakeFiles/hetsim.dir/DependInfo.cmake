@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/hetsim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/hetsim.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/hetsim.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/CMakeFiles/hetsim.dir/cache/prefetcher.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/cache/prefetcher.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/hetsim.dir/common/config.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/hetsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/hetsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/hetsim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/common/table.cc.o.d"
+  "/root/repo/src/core/agg_channel.cc" "src/CMakeFiles/hetsim.dir/core/agg_channel.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/core/agg_channel.cc.o.d"
+  "/root/repo/src/core/cwf_controller.cc" "src/CMakeFiles/hetsim.dir/core/cwf_controller.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/core/cwf_controller.cc.o.d"
+  "/root/repo/src/core/hetero_memory.cc" "src/CMakeFiles/hetsim.dir/core/hetero_memory.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/core/hetero_memory.cc.o.d"
+  "/root/repo/src/core/hmc_memory.cc" "src/CMakeFiles/hetsim.dir/core/hmc_memory.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/core/hmc_memory.cc.o.d"
+  "/root/repo/src/core/line_layout.cc" "src/CMakeFiles/hetsim.dir/core/line_layout.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/core/line_layout.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/hetsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/dram/address_map.cc" "src/CMakeFiles/hetsim.dir/dram/address_map.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/dram/address_map.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/hetsim.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/hetsim.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/dram_params.cc" "src/CMakeFiles/hetsim.dir/dram/dram_params.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/dram/dram_params.cc.o.d"
+  "/root/repo/src/dram/rank.cc" "src/CMakeFiles/hetsim.dir/dram/rank.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/dram/rank.cc.o.d"
+  "/root/repo/src/dram/scheduler.cc" "src/CMakeFiles/hetsim.dir/dram/scheduler.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/dram/scheduler.cc.o.d"
+  "/root/repo/src/ecc/chipkill.cc" "src/CMakeFiles/hetsim.dir/ecc/chipkill.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/ecc/chipkill.cc.o.d"
+  "/root/repo/src/ecc/parity.cc" "src/CMakeFiles/hetsim.dir/ecc/parity.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/ecc/parity.cc.o.d"
+  "/root/repo/src/ecc/secded.cc" "src/CMakeFiles/hetsim.dir/ecc/secded.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/ecc/secded.cc.o.d"
+  "/root/repo/src/power/chip_power.cc" "src/CMakeFiles/hetsim.dir/power/chip_power.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/power/chip_power.cc.o.d"
+  "/root/repo/src/power/system_energy.cc" "src/CMakeFiles/hetsim.dir/power/system_energy.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/power/system_energy.cc.o.d"
+  "/root/repo/src/sim/experiments.cc" "src/CMakeFiles/hetsim.dir/sim/experiments.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/sim/experiments.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/hetsim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/hetsim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/hetsim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/hetsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/system_config.cc" "src/CMakeFiles/hetsim.dir/sim/system_config.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/sim/system_config.cc.o.d"
+  "/root/repo/src/workloads/pattern.cc" "src/CMakeFiles/hetsim.dir/workloads/pattern.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/workloads/pattern.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/hetsim.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/hetsim.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/hetsim.dir/workloads/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_rank.dir/test_bank_rank.cc.o"
+  "CMakeFiles/test_bank_rank.dir/test_bank_rank.cc.o.d"
+  "test_bank_rank"
+  "test_bank_rank.pdb"
+  "test_bank_rank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

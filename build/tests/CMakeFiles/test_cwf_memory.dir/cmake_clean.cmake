@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cwf_memory.dir/test_cwf_memory.cc.o"
+  "CMakeFiles/test_cwf_memory.dir/test_cwf_memory.cc.o.d"
+  "test_cwf_memory"
+  "test_cwf_memory.pdb"
+  "test_cwf_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cwf_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

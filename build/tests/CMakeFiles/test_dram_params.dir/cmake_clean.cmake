@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_params.dir/test_dram_params.cc.o"
+  "CMakeFiles/test_dram_params.dir/test_dram_params.cc.o.d"
+  "test_dram_params"
+  "test_dram_params.pdb"
+  "test_dram_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hmc.dir/test_hmc.cc.o"
+  "CMakeFiles/test_hmc.dir/test_hmc.cc.o.d"
+  "test_hmc"
+  "test_hmc.pdb"
+  "test_hmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

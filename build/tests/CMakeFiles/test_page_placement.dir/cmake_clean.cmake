@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_placement.dir/test_page_placement.cc.o"
+  "CMakeFiles/test_page_placement.dir/test_page_placement.cc.o.d"
+  "test_page_placement"
+  "test_page_placement.pdb"
+  "test_page_placement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_ecc[1]_include.cmake")
+include("/root/repo/build/tests/test_chipkill[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_params[1]_include.cmake")
+include("/root/repo/build/tests/test_address_map[1]_include.cmake")
+include("/root/repo/build/tests/test_bank_rank[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_mshr[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetcher[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_line_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_cwf_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_hmc[1]_include.cmake")
+include("/root/repo/build/tests/test_page_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_system_config[1]_include.cmake")
+include("/root/repo/build/tests/test_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
