@@ -11,6 +11,7 @@
 #ifndef HETSIM_BENCH_BENCH_UTIL_HH
 #define HETSIM_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -30,8 +31,15 @@ printHeader(const std::string &artifact, const std::string &title,
               << "paper reports: " << paper_reports << "\n"
               << "run quantum: " << scale.measureReads
               << " demand reads/workload (HETSIM_READS to change; the "
-                 "paper used 2,000,000)\n"
-              << "================================================\n\n";
+                 "paper used 2,000,000)\n";
+    if (const char *dir = std::getenv("HETSIM_JSON_DIR")) {
+        std::cout << "json reports: one per (config,workload) run in "
+                  << dir << "/\n";
+    } else {
+        std::cout << "json reports: off (set HETSIM_JSON_DIR=<dir> to "
+                     "export machine-readable per-run reports)\n";
+    }
+    std::cout << "================================================\n\n";
 }
 
 inline void

@@ -13,6 +13,7 @@
 
 #include "common/config.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "sim/experiments.hh"
 
 using namespace hetsim;
@@ -58,6 +59,15 @@ main(int argc, char **argv)
     t.addRow({"critical-word lead over rest of line (cycles)",
               Table::num(base.fastLeadTicks, 1),
               Table::num(het.fastLeadTicks, 1)});
+    t.addRow({"critical-word lead p50 (cycles)",
+              Table::num(base.fastLeadP50, 1),
+              Table::num(het.fastLeadP50, 1)});
+    t.addRow({"critical-word lead p95 (cycles)",
+              Table::num(base.fastLeadP95, 1),
+              Table::num(het.fastLeadP95, 1)});
+    t.addRow({"demand miss latency p99 (cycles)",
+              Table::num(base.missLatencyP99, 1),
+              Table::num(het.missLatencyP99, 1)});
     t.addRow({"DRAM power (mW)", Table::num(base.dramPowerMw, 0),
               Table::num(het.dramPowerMw, 0)});
     t.addRow({"data-bus utilization",
@@ -72,5 +82,13 @@ main(int argc, char **argv)
                      Table::percent(base.criticalWordDist[w])});
     }
     std::cout << dist.render();
+
+    auto &tracer = trace::Tracer::instance();
+    if (tracer.enabled() && !tracer.sinkPath().empty()) {
+        tracer.flush();
+        std::cout << "\nlifecycle trace: " << tracer.sinkPath() << " ("
+                  << tracer.recorded() << " events, " << tracer.dropped()
+                  << " dropped)\n";
+    }
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace hetsim::cache
 {
@@ -45,6 +46,11 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
 {
     const Addr line = lineBase(addr);
     const unsigned word = wordOfLine(addr);
+
+    if (!is_store) {
+        HETSIM_TRACE_EVENT(trace::Event::CoreIssue, now, 0, line, core, 0,
+                           0, word);
+    }
 
     // 1. A fill for this line is already in flight: merge into the MSHR.
     if (MshrEntry *entry = mshrs_.find(line)) {
@@ -99,6 +105,8 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
     entry->allocCore = core;
     entry->storedCriticalWord =
         backend_.plannedCriticalWord(line, word, /*is_demand=*/true);
+    HETSIM_TRACE_EVENT(trace::Event::MshrAlloc, now, entry->id, line, core,
+                       0, 0, word);
 
     stats_.demandMisses.inc();
     if (is_store)
@@ -175,6 +183,9 @@ Hierarchy::onCriticalArrived(std::uint64_t mshr_id, Tick now,
             if (wake_)
                 wake_(it->coreId, it->robSlot, now);
             stats_.earlyWakes.inc();
+            entry.earlyWoke = true;
+            HETSIM_TRACE_EVENT(trace::Event::EarlyWake, now, entry.id,
+                               entry.lineAddr, it->coreId, 0, 0, it->word);
             it = waiters.erase(it);
         } else {
             ++it;
@@ -196,12 +207,23 @@ Hierarchy::onLineCompleted(std::uint64_t mshr_id, Tick now)
     sim_assert(!entry.slowArrived, "duplicate line completion");
     entry.slowArrived = true;
     entry.slowTick = now;
+    HETSIM_TRACE_EVENT(trace::Event::LineComplete, now, entry.id,
+                       entry.lineAddr, entry.allocCore, 0, 0,
+                       entry.requestedWord);
 
     if (entry.storedCriticalWord != MshrEntry::kNoFastWord) {
         sim_assert(entry.fastArrived,
                    "line completed before its fast fragment");
-        stats_.fastLead.sample(
-            static_cast<double>(entry.slowTick - entry.fastTick));
+        const double lead =
+            static_cast<double>(entry.slowTick - entry.fastTick);
+        stats_.fastLead.sample(lead);
+        stats_.fastLeadHist.sample(lead);
+        if (entry.earlyWoke)
+            stats_.earlyWakeLeadHist.sample(lead);
+    }
+    if (!entry.isPrefetch) {
+        stats_.missLatencyHist.sample(
+            static_cast<double>(now - entry.allocTick));
     }
 
     // Latency of the requested word when it was NOT served early.
@@ -306,6 +328,43 @@ Hierarchy::criticalWordFraction(unsigned w) const
         return 0.0;
     return static_cast<double>(stats_.criticalWordHist[w].value()) /
            static_cast<double>(total);
+}
+
+void
+Hierarchy::registerStats(StatRegistry &registry) const
+{
+    StatGroup &h = registry.group("cache/hierarchy");
+    h.addCounter("loads", &stats_.loads);
+    h.addCounter("stores", &stats_.stores);
+    h.addCounter("demand_misses", &stats_.demandMisses);
+    h.addCounter("demand_completions", &stats_.demandCompletions);
+    h.addCounter("prefetch_issued", &stats_.prefetchIssued);
+    h.addCounter("store_misses", &stats_.storeMisses);
+    h.addCounter("mshr_joins", &stats_.mshrJoins);
+    h.addCounter("blocked_accesses", &stats_.blockedAccesses);
+    h.addCounter("served_by_fast", &stats_.servedByFast);
+    h.addCounter("early_wakes", &stats_.earlyWakes);
+    h.addCounter("parity_blocked_wakes", &stats_.parityBlockedWakes);
+    h.addCounter("writebacks", &stats_.writebacks);
+    h.addCounter("second_accesses", &stats_.secondAccesses);
+    h.addCounter("second_before_complete", &stats_.secondBeforeComplete);
+    h.addAverage("critical_word_latency_ticks",
+                 &stats_.criticalWordLatency);
+    h.addAverage("fast_lead_ticks", &stats_.fastLead);
+    h.addAverage("second_access_gap_ticks", &stats_.secondAccessGap);
+    h.addHistogram("fast_lead_ticks_hist", &stats_.fastLeadHist);
+    h.addHistogram("early_wake_lead_ticks", &stats_.earlyWakeLeadHist);
+    h.addHistogram("miss_latency_ticks", &stats_.missLatencyHist);
+    h.addCounter("l2_hits", &l2_.hits());
+    h.addCounter("l2_misses", &l2_.misses());
+
+    StatGroup &m = registry.group("cache/mshr");
+    m.addCounter("allocations", &mshrs_.allocations());
+    m.addCounter("full_stalls", &mshrs_.fullStalls());
+    m.addGauge("in_use",
+               [this] { return static_cast<double>(mshrs_.inUse()); });
+    m.addGauge("capacity",
+               [this] { return static_cast<double>(mshrs_.capacity()); });
 }
 
 bool

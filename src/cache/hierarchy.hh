@@ -98,9 +98,19 @@ class Hierarchy
         Average secondAccessGap;      ///< alloc -> second-word access
         Counter secondAccesses;
         Counter secondBeforeComplete;
+        /** Fast-vs-slow fragment arrival gap distribution, ticks. */
+        Histogram fastLeadHist{4.0, 512};
+        /** How much earlier an early-woken load ran vs waiting for the
+         *  full line, ticks. */
+        Histogram earlyWakeLeadHist{4.0, 512};
+        /** Demand miss latency (MSHR alloc -> line complete), ticks. */
+        Histogram missLatencyHist{16.0, 512};
     };
 
     const HierStats &stats() const { return stats_; }
+
+    /** Register `cache/hierarchy` and `cache/mshr` stat groups. */
+    void registerStats(StatRegistry &registry) const;
     const MshrFile &mshrs() const { return mshrs_; }
     const Cache &l2() const { return l2_; }
     const Cache &l1(unsigned core) const { return *l1s_[core]; }

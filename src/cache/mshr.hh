@@ -55,6 +55,9 @@ struct MshrEntry
     bool fastArrived = false;
     bool fastParityOk = true;
     bool slowArrived = false;
+    /** At least one waiter was woken by the fast fragment (feeds the
+     *  early-wake lead histogram at completion). */
+    bool earlyWoke = false;
 
     Tick allocTick = 0;
     Tick fastTick = kTickNever;

@@ -1,0 +1,440 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace hetsim
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------ validator
+
+namespace
+{
+
+/** Recursive-descent syntax checker over a byte range. */
+class JsonValidator
+{
+  public:
+    JsonValidator(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    run()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (error_)
+            *error_ = why + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            pos_ += 1;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseString()
+    {
+        if (text_[pos_] != '"')
+            return fail("expected string");
+        pos_ += 1;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                pos_ += 1;
+                return true;
+            }
+            if (c == '\\') {
+                pos_ += 1;
+                if (pos_ >= text_.size())
+                    return fail("truncated escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i]))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                           e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("raw control character in string");
+            }
+            pos_ += 1;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            pos_ += 1;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return fail("expected digit");
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            pos_ += 1;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            pos_ += 1;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return fail("expected fraction digits");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                pos_ += 1;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            pos_ += 1;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                pos_ += 1;
+            }
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return fail("expected exponent digits");
+            }
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                pos_ += 1;
+            }
+        }
+        return pos_ > start;
+    }
+
+    bool
+    parseValue()
+    {
+        if (depth_ > 128)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber();
+        return fail("unexpected character");
+    }
+
+    bool
+    parseObject()
+    {
+        depth_ += 1;
+        pos_ += 1; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            pos_ += 1;
+            depth_ -= 1;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            pos_ += 1;
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                pos_ += 1;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                pos_ += 1;
+                depth_ -= 1;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        depth_ += 1;
+        pos_ += 1; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            pos_ += 1;
+            depth_ -= 1;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                pos_ += 1;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                pos_ += 1;
+                depth_ -= 1;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+jsonValid(const std::string &text, std::string *error)
+{
+    return JsonValidator(text, error).run();
+}
+
+// --------------------------------------------------------------- writer
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;
+    if (!firstInScope_.back())
+        os_ << ",";
+    firstInScope_.back() = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    stack_.push_back(Scope::Object);
+    firstInScope_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    sim_assert(!stack_.empty() && stack_.back() == Scope::Object,
+               "endObject outside object");
+    os_ << "}";
+    stack_.pop_back();
+    firstInScope_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    stack_.push_back(Scope::Array);
+    firstInScope_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    sim_assert(!stack_.empty() && stack_.back() == Scope::Array,
+               "endArray outside array");
+    os_ << "]";
+    stack_.pop_back();
+    firstInScope_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    sim_assert(!stack_.empty() && stack_.back() == Scope::Object,
+               "key outside object");
+    separate();
+    os_ << "\"" << jsonEscape(name) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << "\"" << jsonEscape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    os_ << "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    sim_assert(stack_.empty(), "unclosed JSON container");
+    return os_.str();
+}
+
+} // namespace hetsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal dependency-free JSON support for machine-readable reports and
+ * traces: a streaming writer with automatic comma/nesting management and
+ * a strict syntax validator used by tests and downstream tooling to
+ * reject malformed documents early.
+ *
+ * The writer emits a canonical subset of JSON: object keys are written
+ * in caller order, doubles use up-to-12-significant-digit shortest form,
+ * and non-finite doubles are emitted as null (JSON has no NaN/Inf).
+ */
+
+#ifndef HETSIM_COMMON_JSON_HH
+#define HETSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hetsim
+{
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Check that @p text is one syntactically valid JSON value.  On failure
+ * returns false and, when @p error is non-null, stores a short
+ * description with the byte offset of the first problem.
+ */
+bool jsonValid(const std::string &text, std::string *error = nullptr);
+
+/**
+ * Streaming JSON writer.
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("run").value("quickstart");
+ *   w.key("windows").beginArray().value(1).value(2).endArray();
+ *   w.endObject();
+ *   std::string doc = w.str();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member name; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Finished document; all containers must be closed. */
+    std::string str() const;
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    void separate();
+
+    std::ostringstream os_;
+    std::vector<Scope> stack_;
+    std::vector<bool> firstInScope_;
+    bool afterKey_ = false;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_JSON_HH

@@ -32,9 +32,11 @@ Histogram::percentile(double fraction) const
     double cum = 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         const double next = cum + static_cast<double>(counts_[i]);
-        if (next >= target) {
-            const double inside =
-                counts_[i] ? (target - cum) / counts_[i] : 0.0;
+        // Empty buckets never "contain" the target: fraction 0 lands on
+        // the lower edge of the first occupied bucket, not on leading
+        // empty range.
+        if (counts_[i] && next >= target) {
+            const double inside = (target - cum) / counts_[i];
             return (static_cast<double>(i) + inside) * width_;
         }
         cum = next;
@@ -64,6 +66,20 @@ StatGroup::addAverage(const std::string &stat, const Average *a)
     averages_[stat] = a;
 }
 
+void
+StatGroup::addHistogram(const std::string &stat, const Histogram *h)
+{
+    sim_assert(h, "null histogram registered as ", stat);
+    histograms_[stat] = h;
+}
+
+void
+StatGroup::addGauge(const std::string &stat, GaugeFn fn)
+{
+    sim_assert(fn, "null gauge registered as ", stat);
+    gauges_[stat] = std::move(fn);
+}
+
 std::string
 StatGroup::render() const
 {
@@ -72,6 +88,18 @@ StatGroup::render() const
         os << name_ << "." << stat << " " << c->value() << "\n";
     for (const auto &[stat, a] : averages_)
         os << name_ << "." << stat << " " << a->mean() << "\n";
+    for (const auto &[stat, fn] : gauges_)
+        os << name_ << "." << stat << " " << fn() << "\n";
+    for (const auto &[stat, h] : histograms_) {
+        os << name_ << "." << stat << ".mean " << h->mean() << "\n";
+        os << name_ << "." << stat << ".p50 " << h->percentile(0.50)
+           << "\n";
+        os << name_ << "." << stat << ".p95 " << h->percentile(0.95)
+           << "\n";
+        os << name_ << "." << stat << ".p99 " << h->percentile(0.99)
+           << "\n";
+        os << name_ << "." << stat << ".count " << h->total() << "\n";
+    }
     return os.str();
 }
 
@@ -83,7 +111,53 @@ StatGroup::values() const
         out[stat] = static_cast<double>(c->value());
     for (const auto &[stat, a] : averages_)
         out[stat] = a->mean();
+    for (const auto &[stat, fn] : gauges_)
+        out[stat] = fn();
+    for (const auto &[stat, h] : histograms_) {
+        out[stat + ".mean"] = h->mean();
+        out[stat + ".p50"] = h->percentile(0.50);
+        out[stat + ".p95"] = h->percentile(0.95);
+        out[stat + ".p99"] = h->percentile(0.99);
+        out[stat + ".count"] = static_cast<double>(h->total());
+    }
     return out;
+}
+
+StatGroup &
+StatRegistry::group(const std::string &name)
+{
+    const auto it = byName_.find(name);
+    if (it != byName_.end())
+        return *it->second;
+    owned_.push_back(std::make_unique<StatGroup>(name));
+    byName_[name] = owned_.back().get();
+    return *owned_.back();
+}
+
+const StatGroup *
+StatRegistry::find(const std::string &name) const
+{
+    const auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+}
+
+std::vector<const StatGroup *>
+StatRegistry::groups() const
+{
+    std::vector<const StatGroup *> out;
+    out.reserve(byName_.size());
+    for (const auto &[name, group] : byName_)
+        out.push_back(group);
+    return out;
+}
+
+std::string
+StatRegistry::render() const
+{
+    std::ostringstream os;
+    for (const StatGroup *g : groups())
+        os << g->render();
+    return os.str();
 }
 
 } // namespace hetsim

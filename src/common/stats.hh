@@ -1,18 +1,24 @@
 /**
  * @file
- * Lightweight statistics primitives: scalar counters, averages, and
- * fixed-bucket histograms, grouped into named registries for reporting.
+ * Lightweight statistics primitives: scalar counters, averages, gauges
+ * and fixed-bucket histograms, grouped into named StatGroups which
+ * register into a StatRegistry.
  *
- * Unlike gem5's stats package there is no global database; each component
- * owns a StatGroup and the simulator stitches reports together.  All stats
- * support snapshot/delta so a measurement window can exclude warmup.
+ * Each component owns its raw stat objects and registers *references*
+ * to them once (registerStats); the simulator then enumerates the
+ * registry for text and JSON reports instead of hand-stitching
+ * per-component accessors — the same shape as gem5's stats database and
+ * Sniper's stats.h, minus the global singleton (a registry instance is
+ * owned by each System so memoised multi-system runs don't alias).
  */
 
 #ifndef HETSIM_COMMON_STATS_HH
 #define HETSIM_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -93,31 +99,76 @@ class Histogram
 };
 
 /**
- * A named collection of scalar statistics for one component.
+ * A named collection of statistics for one component.
  *
- * Components register references to their counters/averages once; the
+ * Components register references to their counters/averages/histograms
+ * (or value-producing lambdas, for plain member variables) once; the
  * group renders them for reports and supports window snapshots.
  */
 class StatGroup
 {
   public:
+    /** Value-producing callback for stats kept as plain members. */
+    using GaugeFn = std::function<double()>;
+
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
     void addCounter(const std::string &stat, const Counter *c);
     void addAverage(const std::string &stat, const Average *a);
+    void addHistogram(const std::string &stat, const Histogram *h);
+    void addGauge(const std::string &stat, GaugeFn fn);
 
     const std::string &name() const { return name_; }
 
-    /** Render "group.stat value" lines. */
+    /** Render "group.stat value" lines; histograms expand to
+     *  mean/p50/p95/p99/count sub-lines. */
     std::string render() const;
 
-    /** Map of stat name -> current scalar value (mean for averages). */
+    /** Map of stat name -> current scalar value (mean for averages;
+     *  histograms expand to name.mean/.p50/.p95/.p99/.count). */
     std::map<std::string, double> values() const;
+
+    const std::map<std::string, const Histogram *> &histograms() const
+    {
+        return histograms_;
+    }
 
   private:
     std::string name_;
     std::map<std::string, const Counter *> counters_;
     std::map<std::string, const Average *> averages_;
+    std::map<std::string, const Histogram *> histograms_;
+    std::map<std::string, GaugeFn> gauges_;
+};
+
+/**
+ * Enumeration point for every component's StatGroup.
+ *
+ * Owned by the simulator (one registry per System); components add
+ * their groups in registerStats(...).  Group references stay stable for
+ * the registry's lifetime, and a repeated group() with the same name
+ * returns the existing group so related components can share one.
+ */
+class StatRegistry
+{
+  public:
+    /** Group named @p name, created on first use. */
+    StatGroup &group(const std::string &name);
+
+    /** Existing group or nullptr. */
+    const StatGroup *find(const std::string &name) const;
+
+    /** All groups, ordered by name. */
+    std::vector<const StatGroup *> groups() const;
+
+    std::size_t size() const { return byName_.size(); }
+
+    /** Render every group's "group.stat value" lines. */
+    std::string render() const;
+
+  private:
+    std::vector<std::unique_ptr<StatGroup>> owned_;
+    std::map<std::string, StatGroup *> byName_;
 };
 
 } // namespace hetsim

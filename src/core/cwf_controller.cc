@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "core/hetero_memory.hh"
 #include "power/chip_power.hh"
 
@@ -173,6 +174,11 @@ CwfHeteroMemory::onSlowResponse(dram::MemRequest &req)
     p.slowDone = true;
     p.slowTick = req.complete;
     slowLatency_.sample(static_cast<double>(req.totalLatency()));
+    // The rest-of-line fragment carries the SECDED code; the check runs
+    // as the fragment arrives (paper Section 4.2.3).
+    HETSIM_TRACE_EVENT(trace::Event::SecdedCheck, req.complete, req.cookie,
+                       req.lineAddr, req.coreId, req.coord.channel,
+                       req.part, 1);
     maybeComplete(req.cookie, p);
 }
 
@@ -195,6 +201,9 @@ CwfHeteroMemory::onFastResponse(dram::MemRequest &req)
         parity_ok = false;
         parityErrors_.inc();
     }
+    HETSIM_TRACE_EVENT(trace::Event::FastArrive, p.fastTick, req.cookie,
+                       req.lineAddr, req.coreId, req.coord.channel,
+                       req.part, parity_ok ? 1 : 0);
     if (cb_.criticalArrived)
         cb_.criticalArrived(req.cookie, p.fastTick, parity_ok);
     maybeComplete(req.cookie, p);
@@ -281,6 +290,28 @@ CwfHeteroMemory::latencySplit() const
     for (unsigned s = 0; s < fast_.subChannels(); ++s)
         views.push_back(&fast_.sub(s));
     return aggregateLatency(views);
+}
+
+void
+CwfHeteroMemory::registerStats(StatRegistry &registry) const
+{
+    for (const auto &chan : slow_)
+        chan->registerStats(registry);
+    for (unsigned s = 0; s < fast_.subChannels(); ++s)
+        fast_.sub(s).registerStats(registry);
+
+    StatGroup &g = registry.group("core/cwf_controller");
+    g.addAverage("fast_fragment_latency_ticks", &fastLatency_);
+    g.addAverage("slow_fragment_latency_ticks", &slowLatency_);
+    g.addCounter("parity_errors_injected", &parityErrors_);
+    g.addGauge("pending_fills",
+               [this] { return static_cast<double>(pending_.size()); });
+    g.addGauge("cmd_bus_grants", [this] {
+        return static_cast<double>(fast_.arbiter().grants());
+    });
+    g.addGauge("cmd_bus_conflicts", [this] {
+        return static_cast<double>(fast_.arbiter().conflicts());
+    });
 }
 
 } // namespace hetsim::cwf

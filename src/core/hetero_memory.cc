@@ -189,6 +189,13 @@ HomogeneousMemory::rowHitRate() const
     return aggregateRowHitRate(channelViews());
 }
 
+void
+HomogeneousMemory::registerStats(StatRegistry &registry) const
+{
+    for (const auto &chan : channels_)
+        chan->registerStats(registry);
+}
+
 // ---------------------- PagePlacementMemory --------------------------
 
 PagePlacementMemory::PagePlacementMemory(
@@ -381,6 +388,17 @@ double
 PagePlacementMemory::rowHitRate() const
 {
     return aggregateRowHitRate(channelViews());
+}
+
+void
+PagePlacementMemory::registerStats(StatRegistry &registry) const
+{
+    for (const auto &chan : slow_)
+        chan->registerStats(registry);
+    fastChannel_->registerStats(registry);
+    StatGroup &g = registry.group("core/hetero_memory");
+    g.addCounter("fast_accesses", &fastAccesses_);
+    g.addCounter("slow_accesses", &slowAccesses_);
 }
 
 } // namespace hetsim::cwf

@@ -81,6 +81,7 @@ class HomogeneousMemory : public MemoryBackend
     LatencySplit latencySplit() const override;
     double rowHitRate() const override;
     const char *name() const override { return name_.c_str(); }
+    void registerStats(StatRegistry &registry) const override;
 
     dram::Channel &channel(unsigned i) { return *channels_.at(i); }
     const dram::AddressMap &addressMap() const { return map_; }
@@ -140,6 +141,7 @@ class CwfHeteroMemory : public MemoryBackend
     LatencySplit latencySplit() const override;
     double rowHitRate() const override;
     const char *name() const override { return params_.configName.c_str(); }
+    void registerStats(StatRegistry &registry) const override;
 
     LineLayout &layout() { return *layout_; }
     AggregatedFastChannel &fastChannel() { return fast_; }
@@ -220,6 +222,7 @@ class PagePlacementMemory : public MemoryBackend
     LatencySplit latencySplit() const override;
     double rowHitRate() const override;
     const char *name() const override { return "PagePlacement"; }
+    void registerStats(StatRegistry &registry) const override;
 
     const Counter &fastAccesses() const { return fastAccesses_; }
     const Counter &slowAccesses() const { return slowAccesses_; }

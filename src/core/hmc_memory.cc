@@ -213,4 +213,21 @@ HmcLikeMemory::rowHitRate() const
     return 0.0; // close-page vaults
 }
 
+void
+HmcLikeMemory::registerStats(StatRegistry &registry) const
+{
+    for (const auto &vault : vaults_)
+        vault->registerStats(registry);
+    StatGroup &g = registry.group("core/hmc_links");
+    g.addGauge("request_packets", [this] {
+        return static_cast<double>(reqLink_.packetsSent());
+    });
+    g.addGauge("response_packets", [this] {
+        return static_cast<double>(respLink_.packetsSent());
+    });
+    g.addGauge("critical_bypasses", [this] {
+        return static_cast<double>(respLink_.criticalBypasses());
+    });
+}
+
 } // namespace hetsim::cwf

@@ -111,6 +111,7 @@ class HmcLikeMemory : public MemoryBackend
     LatencySplit latencySplit() const override;
     double rowHitRate() const override;
     const char *name() const override { return params_.configName.c_str(); }
+    void registerStats(StatRegistry &registry) const override;
 
     const SerialLink &requestLink() const { return reqLink_; }
     const SerialLink &responseLink() const { return respLink_; }

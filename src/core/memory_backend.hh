@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace hetsim::cwf
@@ -97,6 +98,13 @@ class MemoryBackend
 
     /** Human-readable configuration name. */
     virtual const char *name() const = 0;
+
+    /** Register this organisation's stat groups (channels, controller
+     *  bookkeeping) into @p registry; default registers nothing. */
+    virtual void registerStats(StatRegistry &registry) const
+    {
+        (void)registry;
+    }
 };
 
 } // namespace hetsim::cwf

@@ -132,4 +132,22 @@ Core::ipc(Tick now) const
            static_cast<double>(now - windowStart_);
 }
 
+void
+Core::registerStats(StatRegistry &registry) const
+{
+    StatGroup &g =
+        registry.group("cpu/core/" + std::to_string(unsigned{id_}));
+    g.addGauge("retired",
+               [this] { return static_cast<double>(retired_); });
+    g.addGauge("retired_in_window", [this] {
+        return static_cast<double>(retiredInWindow());
+    });
+    g.addGauge("dispatch_stalls", [this] {
+        return static_cast<double>(dispatchStalls_);
+    });
+    g.addGauge("rob_occupancy_sum", [this] {
+        return static_cast<double>(robOccupancySum_);
+    });
+}
+
 } // namespace hetsim::cpu

@@ -24,6 +24,7 @@
 #include <functional>
 
 #include "cache/hierarchy.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "workloads/pattern.hh"
 
@@ -65,6 +66,9 @@ class Core
 
     std::uint64_t robOccupancySum() const { return robOccupancySum_; }
     std::uint64_t dispatchStalls() const { return dispatchStalls_; }
+
+    /** Register this core's stat group (`cpu/core/<id>`). */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     struct RobEntry

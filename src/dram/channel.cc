@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace hetsim::dram
 {
@@ -37,7 +38,10 @@ Channel::Channel(std::string name, const DeviceParams &params,
       cycleTicks_(params.clockDivider),
       chipsPerRank_(params.chipsPerRank),
       pendingPerRank_(ranks, 0),
-      lastWriteDataEnd_(ranks, 0)
+      lastWriteDataEnd_(ranks, 0),
+      lastColumnPerBank_(static_cast<std::size_t>(ranks) *
+                             params.banksPerRank,
+                         kTickNever)
 {
     sim_assert(ranks > 0, "channel needs at least one rank");
     ranks_.reserve(ranks);
@@ -60,6 +64,9 @@ Channel::enqueue(MemRequest req, Tick now)
     sim_assert(req.coord.rank < ranks_.size(), "rank out of range");
     sim_assert(req.coord.bank < params_.banksPerRank, "bank out of range");
     req.enqueue = now;
+    HETSIM_TRACE_EVENT(trace::Event::Enqueue, now, req.cookie,
+                       req.lineAddr, req.coreId, req.coord.channel,
+                       req.part, req.coord.bank);
 
     if (req.isRead()) {
         // Forward from a queued write to the same line/part: the data is
@@ -130,6 +137,8 @@ Channel::completeReads(Tick now)
         if (done->isDemand()) {
             stats_.demandReads.inc();
             stats_.queueLatency.sample(
+                static_cast<double>(done->queueLatency()));
+            stats_.queueDelayHist.sample(
                 static_cast<double>(done->queueLatency()));
             stats_.serviceLatency.sample(
                 static_cast<double>(done->serviceLatency()));
@@ -232,6 +241,31 @@ Channel::wakeIfNeeded(MemRequest &req, Tick now)
 void
 Channel::finishColumnIssue(MemRequest &req, Tick now, Tick data_start)
 {
+#ifndef HETSIM_DISABLE_TRACE
+    // One gate check covers both lifecycle events on this hot path.
+    if (trace::detail::g_traceEnabled) [[unlikely]] {
+        if (req.firstIssue == kTickNever) {
+            trace::detail::emit(trace::Event::SchedulerPick, now,
+                                req.cookie, req.lineAddr, req.coreId,
+                                req.coord.channel, req.part,
+                                req.coord.bank);
+        }
+        trace::detail::emit(trace::Event::BankCas, now, req.cookie,
+                            req.lineAddr, req.coreId, req.coord.channel,
+                            req.part, req.coord.bank);
+    }
+#endif
+
+    // Bank turnaround: spacing of successive column commands per bank.
+    const std::size_t bank_slot =
+        static_cast<std::size_t>(req.coord.rank) * params_.banksPerRank +
+        req.coord.bank;
+    if (lastColumnPerBank_[bank_slot] != kTickNever) {
+        stats_.bankTurnaroundHist.sample(
+            static_cast<double>(now - lastColumnPerBank_[bank_slot]));
+    }
+    lastColumnPerBank_[bank_slot] = now;
+
     const Tick data_end = data_start + params_.ticks(params_.tBurst);
     dataBusFreeAt_ = data_end;
     lastDataEnd_ = data_end;
@@ -281,10 +315,40 @@ Channel::resetStats(Tick now)
     stats_.queueLatency.reset();
     stats_.serviceLatency.reset();
     stats_.totalLatency.reset();
+    stats_.queueDelayHist.reset();
+    stats_.bankTurnaroundHist.reset();
     stats_.dataBusBusyTicks = 0;
     stats_.windowStart = now;
     for (auto &rank : ranks_)
         rank.collectActivity(true);
+}
+
+void
+Channel::registerStats(StatRegistry &registry) const
+{
+    StatGroup &chan = registry.group("dram/channel/" + name_);
+    chan.addCounter("demand_reads", &stats_.demandReads);
+    chan.addCounter("prefetch_reads", &stats_.prefetchReads);
+    chan.addCounter("writes", &stats_.writes);
+    chan.addCounter("refreshes", &stats_.refreshes);
+    chan.addCounter("power_down_entries", &stats_.powerDownEntries);
+    chan.addAverage("queue_latency_ticks", &stats_.queueLatency);
+    chan.addAverage("service_latency_ticks", &stats_.serviceLatency);
+    chan.addAverage("total_latency_ticks", &stats_.totalLatency);
+    chan.addHistogram("queue_delay_ticks", &stats_.queueDelayHist);
+    chan.addGauge("pending_reads",
+                  [this] { return static_cast<double>(readQ_.size()); });
+    chan.addGauge("pending_writes",
+                  [this] { return static_cast<double>(writeQ_.size()); });
+
+    StatGroup &sched = registry.group("dram/scheduler/" + name_);
+    sched.addCounter("row_hits", &stats_.rowHits);
+    sched.addCounter("row_misses", &stats_.rowMisses);
+    sched.addCounter("forwarded_from_write_queue",
+                     &stats_.forwardedFromWriteQ);
+
+    StatGroup &bank = registry.group("dram/bank/" + name_);
+    bank.addHistogram("turnaround_ticks", &stats_.bankTurnaroundHist);
 }
 
 std::vector<RankActivity>

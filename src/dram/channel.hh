@@ -142,9 +142,20 @@ class Channel
         Average totalLatency;   ///< demand reads, ticks
         std::uint64_t dataBusBusyTicks = 0;
         Tick windowStart = 0;
+        // Observability-only members stay at the end so the hot fields
+        // above keep their cache-line placement.
+        /** Demand-read controller queueing delay distribution, ticks. */
+        Histogram queueDelayHist{16.0, 512};
+        /** Gap between consecutive column commands to the same bank
+         *  (bank turnaround), ticks. */
+        Histogram bankTurnaroundHist{4.0, 512};
     };
 
     const ChannelStats &stats() const { return stats_; }
+
+    /** Register this channel's stats as `dram/channel/<name>`,
+     *  `dram/scheduler/<name>` and `dram/bank/<name>` groups. */
+    void registerStats(StatRegistry &registry) const;
 
     /** Data-bus utilization over the current window ending at @p now. */
     double busUtilization(Tick now) const;
@@ -233,6 +244,9 @@ class Channel
 
     bool auditEnabled_ = false;
     std::vector<AuditEvent> audit_;
+
+    // Observability-only state, kept last (see ChannelStats note).
+    std::vector<Tick> lastColumnPerBank_; ///< turnaround tracking
 };
 
 } // namespace hetsim::dram

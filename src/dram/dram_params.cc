@@ -140,10 +140,12 @@ DeviceParams::lpddr2_800()
     // LPDDR2 datasheet at 1.2 V.
     p.idd.vdd = 1.2;
     p.idd.idd0 = 60;
-    // The DLL is frozen during power-down (JEDEC), so the PD current is
-    // near the native mobile value even on the server-adapted part; the
-    // *standby* currents stay at DDR3 levels per the paper's methodology.
-    p.idd.idd2p = 3;
+    // All background currents — power-down included — stay at DDR3
+    // levels on the server-adapted part (paper Section 5): the added
+    // DLL keeps drawing its maintenance current in precharge power-down,
+    // so using the native mobile value would inflate the savings.
+    p.idd.idd2p = 12; // DDR3 value
+
     p.idd.idd2n = 37;   // DDR3 value
     p.idd.idd3p = 40;   // DDR3 value
     p.idd.idd3n = 45;   // DDR3 value

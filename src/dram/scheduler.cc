@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "dram/channel.hh"
 
 namespace hetsim::dram
@@ -227,6 +228,9 @@ Channel::tryPrep(MemRequest &req, Tick now)
     bank.activate(now, static_cast<std::int64_t>(req.coord.row), params_);
     rank.recordActivate(now);
     req.neededActivate = true;
+    HETSIM_TRACE_EVENT(trace::Event::BankAct, now, req.cookie,
+                       req.lineAddr, req.coreId, req.coord.channel,
+                       req.part, req.coord.bank);
     recordAudit(DramCmd::Activate, now, req.coord, 0, 0);
     return true;
 }

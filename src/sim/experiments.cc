@@ -2,13 +2,53 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/report.hh"
 #include "workloads/suite.hh"
 
 namespace hetsim::sim
 {
+
+namespace
+{
+
+/** Make a memoisation key usable as a filename. */
+std::string
+sanitizeForFilename(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '.';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** When HETSIM_JSON_DIR is set, dump the run's JSON report there. */
+void
+maybeExportJson(System &system, const RunResult &result,
+                const std::string &key)
+{
+    const char *dir = std::getenv("HETSIM_JSON_DIR");
+    if (!dir || !*dir)
+        return;
+    const std::string path =
+        std::string(dir) + "/" + sanitizeForFilename(key) + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("json export: cannot write '", path,
+             "'; does HETSIM_JSON_DIR exist?");
+        return;
+    }
+    out << renderReportJson(system, result) << "\n";
+}
+
+} // namespace
 
 ExperimentScale
 ExperimentScale::fromEnv()
@@ -26,6 +66,8 @@ ExperimentScale::fromEnv()
         if (v > 0)
             s.warmupReads = v;
     }
+    if (const char *every = std::getenv("HETSIM_WINDOW_EVERY"))
+        s.statsWindowEvery = std::strtoull(every, nullptr, 10);
     return s;
 }
 
@@ -49,6 +91,7 @@ ExperimentScale::runConfig(unsigned active_cores,
     // to keep full-suite sweeps fast.
     rc.maxWarmupTicks = 3'000'000;
     rc.maxMeasureTicks = 12'000'000;
+    rc.statsWindowEvery = statsWindowEvery;
     return rc;
 }
 
@@ -92,6 +135,7 @@ ExperimentRunner::getOrRun(const SystemParams &params,
     System system(params, profile, active_cores);
     const RunConfig rc = scale_.runConfig(active_cores, params.cores);
     RunResult result = runSimulation(system, rc);
+    maybeExportJson(system, result, key.str());
     return cache_.emplace(key.str(), std::move(result)).first->second;
 }
 

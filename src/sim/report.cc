@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/json.hh"
 #include "dram/dram_params.hh"
 
 namespace hetsim::sim
@@ -87,6 +88,15 @@ renderReport(System &system, const RunResult &result)
     out.add("cwf.early_wakes", h.earlyWakes.value());
     out.add("cwf.parity_blocked_wakes", h.parityBlockedWakes.value());
     out.add("cwf.fast_lead_ticks", result.fastLeadTicks);
+    out.add("cwf.fast_lead_p50_ticks", result.fastLeadP50);
+    out.add("cwf.fast_lead_p95_ticks", result.fastLeadP95);
+    out.add("cwf.fast_lead_p99_ticks", result.fastLeadP99);
+    out.add("cwf.early_wake_lead_p50_ticks", result.earlyWakeLeadP50);
+    out.add("cwf.early_wake_lead_p95_ticks", result.earlyWakeLeadP95);
+    out.add("cwf.early_wake_lead_p99_ticks", result.earlyWakeLeadP99);
+    out.add("cwf.miss_latency_p50_ticks", result.missLatencyP50);
+    out.add("cwf.miss_latency_p95_ticks", result.missLatencyP95);
+    out.add("cwf.miss_latency_p99_ticks", result.missLatencyP99);
     for (unsigned w = 0; w < kWordsPerLine; ++w) {
         out.add("cwf.critical_word_dist." + std::to_string(w),
                 result.criticalWordDist[w]);
@@ -105,7 +115,87 @@ renderReport(System &system, const RunResult &result)
             result.latency.serviceTicks * dram::kTickNs);
     out.add("dram.total_latency_ns",
             result.latency.totalTicks * dram::kTickNs);
+
+    out.section("components");
+    os << system.statRegistry().render();
     return os.str();
+}
+
+std::string
+renderReportJson(System &system, const RunResult &result)
+{
+    JsonWriter w;
+    w.beginObject();
+
+    w.key("run").beginObject();
+    w.key("config").value(system.backend().name());
+    w.key("benchmark").value(system.profile().name);
+    w.key("active_cores").value(system.activeCores());
+    w.key("window_ticks").value(
+        static_cast<std::uint64_t>(result.windowTicks));
+    w.key("seconds").value(result.seconds);
+    w.key("tick_ns").value(dram::kTickNs);
+    w.endObject();
+
+    w.key("headline").beginObject();
+    w.key("agg_ipc").value(result.aggIpc);
+    w.key("per_core_ipc").beginArray();
+    for (double ipc : result.perCoreIpc)
+        w.value(ipc);
+    w.endArray();
+    w.key("demand_reads").value(result.demandReads);
+    w.key("writebacks").value(result.writebacks);
+    w.key("dram_power_mw").value(result.dramPowerMw);
+    w.key("bus_utilization").value(result.busUtilization);
+    w.key("row_hit_rate").value(result.rowHitRate);
+    w.key("queue_latency_ticks").value(result.latency.queueTicks);
+    w.key("service_latency_ticks").value(result.latency.serviceTicks);
+    w.key("total_latency_ticks").value(result.latency.totalTicks);
+    w.key("critical_word_latency_ticks")
+        .value(result.criticalWordLatencyTicks);
+    w.key("served_by_fast_fraction").value(result.servedByFastFraction);
+    w.key("early_wake_fraction").value(result.earlyWakeFraction);
+    w.key("fast_lead_ticks").value(result.fastLeadTicks);
+    w.key("fast_lead_p50_ticks").value(result.fastLeadP50);
+    w.key("fast_lead_p95_ticks").value(result.fastLeadP95);
+    w.key("fast_lead_p99_ticks").value(result.fastLeadP99);
+    w.key("early_wake_lead_p50_ticks").value(result.earlyWakeLeadP50);
+    w.key("early_wake_lead_p95_ticks").value(result.earlyWakeLeadP95);
+    w.key("early_wake_lead_p99_ticks").value(result.earlyWakeLeadP99);
+    w.key("miss_latency_p50_ticks").value(result.missLatencyP50);
+    w.key("miss_latency_p95_ticks").value(result.missLatencyP95);
+    w.key("miss_latency_p99_ticks").value(result.missLatencyP99);
+    w.key("second_access_gap_ticks").value(result.secondAccessGapTicks);
+    w.key("second_before_complete_fraction")
+        .value(result.secondBeforeCompleteFraction);
+    w.key("mshr_full_stalls").value(result.mshrFullStalls);
+    w.key("critical_word_dist").beginArray();
+    for (double frac : result.criticalWordDist)
+        w.value(frac);
+    w.endArray();
+    w.endObject();
+
+    w.key("groups").beginObject();
+    for (const StatGroup *group : system.statRegistry().groups()) {
+        w.key(group->name()).beginObject();
+        for (const auto &[stat, value] : group->values())
+            w.key(stat).value(value);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("windows").beginArray();
+    for (const WindowSample &s : result.windows) {
+        w.beginObject();
+        w.key("completed_reads").value(s.completedReads);
+        w.key("end_tick").value(static_cast<std::uint64_t>(s.endTick));
+        w.key("agg_ipc").value(s.aggIpc);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    return w.str();
 }
 
 } // namespace hetsim::sim

@@ -19,6 +19,11 @@ namespace hetsim::sim
 /** Render the full statistics of a finished measurement window. */
 std::string renderReport(System &system, const RunResult &result);
 
+/** Render one machine-readable JSON document for the run: metadata,
+ *  the RunResult headline metrics, every registered stat group's
+ *  current values, and the periodic window samples (if recorded). */
+std::string renderReportJson(System &system, const RunResult &result);
+
 } // namespace hetsim::sim
 
 #endif // HETSIM_SIM_REPORT_HH

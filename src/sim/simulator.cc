@@ -31,9 +31,25 @@ runSimulation(System &system, const RunConfig &config)
     system.resetStats();
 
     // ---- measurement ----
-    runUntil(system, config.measureReads, config.maxMeasureTicks);
-
     RunResult r;
+    if (config.statsWindowEvery == 0) {
+        runUntil(system, config.measureReads, config.maxMeasureTicks);
+    } else {
+        const auto &stats = system.hierarchy().stats();
+        const std::uint64_t start = stats.demandCompletions.value();
+        const Tick deadline = system.now() + config.maxMeasureTicks;
+        std::uint64_t next_sample = config.statsWindowEvery;
+        std::uint64_t done = 0;
+        while (done < config.measureReads && system.now() < deadline) {
+            system.tick();
+            done = stats.demandCompletions.value() - start;
+            if (done >= next_sample) {
+                r.windows.push_back(WindowSample{
+                    done, system.now(), system.aggregateIpc()});
+                next_sample += config.statsWindowEvery;
+            }
+        }
+    }
     const Tick now = system.now();
     r.windowTicks = now - system.windowStart();
     r.seconds = static_cast<double>(r.windowTicks) * dram::kTickNs * 1e-9;
@@ -45,6 +61,15 @@ runSimulation(System &system, const RunConfig &config)
     r.writebacks = h.writebacks.value();
     r.criticalWordLatencyTicks = h.criticalWordLatency.mean();
     r.fastLeadTicks = h.fastLead.mean();
+    r.fastLeadP50 = h.fastLeadHist.percentile(0.50);
+    r.fastLeadP95 = h.fastLeadHist.percentile(0.95);
+    r.fastLeadP99 = h.fastLeadHist.percentile(0.99);
+    r.earlyWakeLeadP50 = h.earlyWakeLeadHist.percentile(0.50);
+    r.earlyWakeLeadP95 = h.earlyWakeLeadHist.percentile(0.95);
+    r.earlyWakeLeadP99 = h.earlyWakeLeadHist.percentile(0.99);
+    r.missLatencyP50 = h.missLatencyHist.percentile(0.50);
+    r.missLatencyP95 = h.missLatencyHist.percentile(0.95);
+    r.missLatencyP99 = h.missLatencyHist.percentile(0.99);
     r.secondAccessGapTicks = h.secondAccessGap.mean();
     const std::uint64_t second = h.secondAccesses.value();
     r.secondBeforeCompleteFraction =

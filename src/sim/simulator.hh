@@ -27,6 +27,18 @@ struct RunConfig
     /** Hard tick caps so low-MPKI workloads (ep) terminate. */
     Tick maxWarmupTicks = 3'000'000;
     Tick maxMeasureTicks = 30'000'000;
+    /** When non-zero, record a WindowSample every N demand fills during
+     *  the measurement phase (RunResult::windows). */
+    std::uint64_t statsWindowEvery = 0;
+};
+
+/** Periodic progress snapshot taken every RunConfig::statsWindowEvery
+ *  demand fills. */
+struct WindowSample
+{
+    std::uint64_t completedReads = 0; ///< demand fills since window start
+    Tick endTick = 0;                 ///< absolute tick of the snapshot
+    double aggIpc = 0;                ///< cumulative window IPC so far
 };
 
 struct RunResult
@@ -44,11 +56,18 @@ struct RunResult
     double servedByFastFraction = 0;   ///< Fig. 8
     double earlyWakeFraction = 0;
     double fastLeadTicks = 0;          ///< slow - fast arrival gap
+    /** Distribution tails from the hierarchy's histograms (ticks). */
+    double fastLeadP50 = 0, fastLeadP95 = 0, fastLeadP99 = 0;
+    double earlyWakeLeadP50 = 0, earlyWakeLeadP95 = 0,
+           earlyWakeLeadP99 = 0;
+    double missLatencyP50 = 0, missLatencyP95 = 0, missLatencyP99 = 0;
     std::array<double, kWordsPerLine> criticalWordDist{};
     double secondAccessGapTicks = 0;
     double secondBeforeCompleteFraction = 0;
     std::uint64_t mshrFullStalls = 0;
     double rowHitRate = 0;
+    /** Filled only when RunConfig::statsWindowEvery > 0. */
+    std::vector<WindowSample> windows;
 };
 
 /** Run warmup + measurement on an already-constructed system. */

@@ -39,6 +39,13 @@ System::System(const SystemParams &params,
         [this](std::uint8_t core, std::uint16_t slot, Tick when) {
             cores_.at(core)->wake(slot, when);
         });
+
+    // All components live as long as the System, so registered stat
+    // pointers and gauge closures stay valid for the registry's life.
+    for (const auto &core : cores_)
+        core->registerStats(statRegistry_);
+    hierarchy_->registerStats(statRegistry_);
+    backend_->registerStats(statRegistry_);
 }
 
 void

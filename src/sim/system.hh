@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/stats.hh"
 #include "cpu/core.hh"
 #include "sim/system_config.hh"
 #include "workloads/suite.hh"
@@ -54,6 +55,10 @@ class System
 
     Tick windowStart() const { return windowStart_; }
 
+    /** Registry enumerating every component's stat group; populated
+     *  once at construction, values read live. */
+    const StatRegistry &statRegistry() const { return statRegistry_; }
+
   private:
     SystemParams params_;
     const workloads::BenchmarkProfile &profile_;
@@ -63,6 +68,8 @@ class System
     std::unique_ptr<cache::Hierarchy> hierarchy_;
     std::vector<std::unique_ptr<workloads::WorkloadGenerator>> gens_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+    StatRegistry statRegistry_;
 
     Tick now_ = 0;
     Tick windowStart_ = 0;
