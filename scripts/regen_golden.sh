@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the golden-run baselines in tests/golden/ after an intended
+# model change.  Runs the golden test binary with HETSIM_REGEN_GOLDEN=1
+# (which rewrites the files instead of comparing), then re-runs it in
+# compare mode to prove the fresh baselines round-trip.
+#
+# Usage: scripts/regen_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [ ! -d "$build_dir" ]; then
+    echo "error: build dir '$build_dir' not found; run cmake first" >&2
+    exit 1
+fi
+
+cmake --build "$build_dir" --target test_golden_runs -j >/dev/null
+
+bin="$(find "$build_dir" -name test_golden_runs -type f | head -n1)"
+if [ -z "$bin" ]; then
+    echo "error: test_golden_runs binary not found under $build_dir" >&2
+    exit 1
+fi
+
+echo "== regenerating tests/golden/*.json =="
+HETSIM_REGEN_GOLDEN=1 "$bin" \
+    --gtest_filter='*DigestMatchesCheckedInBaseline*'
+
+echo "== verifying fresh baselines round-trip =="
+"$bin" --gtest_filter='*DigestMatchesCheckedInBaseline*'
+
+echo "done; review the diff under tests/golden/ and commit it"

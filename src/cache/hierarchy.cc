@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 
@@ -176,7 +177,10 @@ Hierarchy::onCriticalArrived(std::uint64_t mshr_id, Tick now,
         return;
     }
 
-    // Wake every waiter whose requested word is the buffered one.
+    // Wake every waiter whose requested word is the buffered one.  The
+    // validator sees the state the wakes are about to be issued from.
+    check::onEarlyWake(entry.id, now, entry.fastArrived, entry.fastTick,
+                       entry.fastParityOk);
     auto &waiters = entry.waiters;
     for (auto it = waiters.begin(); it != waiters.end();) {
         if (it->word == entry.storedCriticalWord) {
@@ -205,6 +209,9 @@ Hierarchy::onLineCompleted(std::uint64_t mshr_id, Tick now)
 {
     MshrEntry &entry = mshrs_.byId(mshr_id);
     sim_assert(!entry.slowArrived, "duplicate line completion");
+    check::onLineComplete(entry.id, now,
+                          entry.storedCriticalWord != MshrEntry::kNoFastWord,
+                          entry.fastArrived, entry.fastTick);
     entry.slowArrived = true;
     entry.slowTick = now;
     HETSIM_TRACE_EVENT(trace::Event::LineComplete, now, entry.id,

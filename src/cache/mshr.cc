@@ -1,9 +1,15 @@
 #include "cache/mshr.hh"
 
+#include "check/checker.hh"
 #include "common/log.hh"
 
 namespace hetsim::cache
 {
+
+MshrFile::~MshrFile()
+{
+    check::onMshrDomainDestroyed(this);
+}
 
 MshrFile::MshrFile(unsigned capacity) : capacity_(capacity)
 {
@@ -52,6 +58,7 @@ MshrFile::allocate(Addr line_addr, Tick now)
 
     byLine_[line_addr] = slot;
     allocations_.inc();
+    check::onMshrAlloc(this, entry.id, now);
     return &entry;
 }
 
@@ -64,6 +71,7 @@ MshrFile::release(MshrEntry &entry)
                "MSHR map corruption");
     const unsigned slot = it->second;
     byLine_.erase(it);
+    check::onMshrRelease(this, entry.id, entry.allocTick);
     entry.valid = false;
     entry.waiters.clear();
     freeList_.push_back(slot);

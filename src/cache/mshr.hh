@@ -81,6 +81,7 @@ class MshrFile
 {
   public:
     explicit MshrFile(unsigned capacity);
+    ~MshrFile();
 
     bool hasFree() const { return freeList_.size() > 0; }
     std::size_t inUse() const { return capacity_ - freeList_.size(); }

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/hetero_memory.hh"
@@ -46,6 +47,11 @@ CwfHeteroMemory::CwfHeteroMemory(const Params &params,
         chan->setChipsPerRank(params_.slowChipsPerRank);
         slow_.push_back(std::move(chan));
     }
+}
+
+CwfHeteroMemory::~CwfHeteroMemory()
+{
+    check::onCwfDomainDestroyed(this);
 }
 
 void
@@ -104,6 +110,7 @@ CwfHeteroMemory::requestFill(const FillRequest &request, Tick now)
         request.isPrefetch ? AccessType::Prefetch : AccessType::Read;
 
     pending_.emplace(request.mshrId, PendingFill{});
+    check::onCwfFillIssued(this, request.mshrId, now);
 
     dram::MemRequest slow_req;
     slow_req.id = nextReqId_++;
@@ -171,11 +178,13 @@ CwfHeteroMemory::onSlowResponse(dram::MemRequest &req)
     sim_assert(it != pending_.end(), "slow response without pending fill");
     PendingFill &p = it->second;
     sim_assert(!p.slowDone, "duplicate slow fragment");
+    check::onCwfFragment(this, req.cookie, /*fast=*/false, req.complete);
     p.slowDone = true;
     p.slowTick = req.complete;
     slowLatency_.sample(static_cast<double>(req.totalLatency()));
     // The rest-of-line fragment carries the SECDED code; the check runs
     // as the fragment arrives (paper Section 4.2.3).
+    check::onCwfSecded(this, req.cookie, req.complete);
     HETSIM_TRACE_EVENT(trace::Event::SecdedCheck, req.complete, req.cookie,
                        req.lineAddr, req.coreId, req.coord.channel,
                        req.part, 1);
@@ -191,6 +200,7 @@ CwfHeteroMemory::onFastResponse(dram::MemRequest &req)
     sim_assert(it != pending_.end(), "fast response without pending fill");
     PendingFill &p = it->second;
     sim_assert(!p.fastDone, "duplicate fast fragment");
+    check::onCwfFragment(this, req.cookie, /*fast=*/true, req.complete);
     p.fastDone = true;
     p.fastTick = req.complete;
     fastLatency_.sample(static_cast<double>(req.totalLatency()));
@@ -215,6 +225,8 @@ CwfHeteroMemory::maybeComplete(std::uint64_t mshr_id, PendingFill &pending)
     if (!pending.fastDone || !pending.slowDone)
         return;
     const Tick done = std::max(pending.fastTick, pending.slowTick);
+    check::onCwfComplete(this, mshr_id, pending.fastTick, pending.slowTick,
+                         done);
     pending_.erase(mshr_id);
     if (cb_.lineCompleted)
         cb_.lineCompleted(mshr_id, done);

@@ -125,6 +125,7 @@ class CwfHeteroMemory : public MemoryBackend
 
     CwfHeteroMemory(const Params &params,
                     std::unique_ptr<LineLayout> layout);
+    ~CwfHeteroMemory() override;
 
     void setCallbacks(Callbacks callbacks) override;
     unsigned plannedCriticalWord(Addr line_addr, unsigned requested_word,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/checker.hh"
 #include "common/log.hh"
 #include "core/hetero_memory.hh"
 
@@ -63,6 +64,11 @@ HmcLikeMemory::HmcLikeMemory(const Params &params)
         vaults_.push_back(std::make_unique<dram::Channel>(
             "vault." + std::to_string(v), dev, 1, params_.sched));
     }
+}
+
+HmcLikeMemory::~HmcLikeMemory()
+{
+    check::onCwfDomainDestroyed(this);
 }
 
 void
@@ -153,6 +159,7 @@ HmcLikeMemory::tick(Tick now)
     while (!deliveries_.empty() && deliveries_.top().at <= now) {
         const Delivery d = deliveries_.top();
         deliveries_.pop();
+        check::onHmcDelivery(this, d.mshrId, d.critical, d.at);
         if (d.critical) {
             if (cb_.criticalArrived)
                 cb_.criticalArrived(d.mshrId, d.at, /*parity_ok=*/true);

@@ -90,6 +90,7 @@ class HmcLikeMemory : public MemoryBackend
     };
 
     explicit HmcLikeMemory(const Params &params);
+    ~HmcLikeMemory() override;
 
     void setCallbacks(Callbacks callbacks) override;
     unsigned plannedCriticalWord(Addr, unsigned requested_word,

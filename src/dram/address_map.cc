@@ -55,6 +55,31 @@ AddressMap::decode(std::uint64_t line_index) const
     return c;
 }
 
+std::uint64_t
+AddressMap::encode(const DramCoord &coord) const
+{
+    // Undo the permutation-based bank interleaving first: for the fixed
+    // row the hash offset is a constant, so the raw bank is recovered by
+    // subtracting it modulo the bank count.
+    std::uint64_t h = coord.row;
+    h = (h ^ (h >> 13)) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    const std::uint64_t bank_raw =
+        (coord.bank + banks_ - (h % banks_)) % banks_;
+
+    std::uint64_t index = coord.row;
+    if (scheme_ == MapScheme::OpenPage) {
+        index = index * ranks_ + coord.rank;
+        index = index * banks_ + bank_raw;
+        index = index * cols_ + coord.col;
+    } else {
+        index = index * cols_ + coord.col;
+        index = index * ranks_ + coord.rank;
+        index = index * banks_ + bank_raw;
+    }
+    return index * channels_ + coord.channel;
+}
+
 unsigned
 AddressMap::channelOf(std::uint64_t line_index) const
 {

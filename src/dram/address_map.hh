@@ -44,6 +44,10 @@ class AddressMap
      *  word-granularity CWF fast channel). */
     DramCoord decode(std::uint64_t line_index) const;
 
+    /** Inverse of decode for in-capacity indices:
+     *  encode(decode(x)) == x for all x < capacityLines(). */
+    std::uint64_t encode(const DramCoord &coord) const;
+
     /** Channel of a line index without full decode. */
     unsigned channelOf(std::uint64_t line_index) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 
@@ -47,6 +48,13 @@ Channel::Channel(std::string name, const DeviceParams &params,
     ranks_.reserve(ranks);
     for (unsigned r = 0; r < ranks; ++r)
         ranks_.emplace_back(params_, r);
+}
+
+Channel::~Channel()
+{
+    // Drop validator state keyed by this object so a later allocation at
+    // the same address cannot inherit stale timing history.
+    check::onChannelDestroyed(this);
 }
 
 bool
@@ -164,6 +172,7 @@ Channel::manageRefresh(Tick now)
             // Wake first; refresh will fire on a later cycle once tXP has
             // elapsed (self-refresh is approximated by this round trip).
             rank.exitPowerDown(now);
+            check::onRankWake(this, name_, params_, rank.index(), now);
             continue;
         }
         if (now < rank.readyAfterWake(now))
@@ -213,6 +222,7 @@ Channel::managePowerDown(Tick now)
         if (!settled)
             continue;
         rank.enterPowerDown(now);
+        check::onRankPowerDown(this, name_, params_, r, now);
         stats_.powerDownEntries.inc();
     }
 }
@@ -233,6 +243,7 @@ Channel::wakeIfNeeded(MemRequest &req, Tick now)
     Rank &rank = ranks_[req.coord.rank];
     if (rank.poweredDown()) {
         rank.exitPowerDown(now);
+        check::onRankWake(this, name_, params_, req.coord.rank, now);
         return true; // woke this cycle; command issues once tXP elapses
     }
     return false;
@@ -286,6 +297,10 @@ void
 Channel::recordAudit(DramCmd cmd, Tick at, const DramCoord &coord,
                      Tick data_start, Tick data_end)
 {
+    // Every command issue funnels through here; the protocol validator
+    // observes the stream regardless of the audit-buffer setting.
+    check::onDramCommand(this, name_, params_, cmd, at, coord, data_start,
+                         data_end);
     if (!auditEnabled_)
         return;
     audit_.push_back(AuditEvent{cmd, at, coord.rank, coord.bank, coord.row,

@@ -105,6 +105,7 @@ class Channel
     Channel(std::string name, const DeviceParams &params, unsigned ranks,
             SchedulerPolicy policy = SchedulerPolicy{},
             AddrBusArbiter *shared_cmd_bus = nullptr);
+    ~Channel();
 
     void setCallback(RespCallback cb) { callback_ = std::move(cb); }
 

@@ -59,6 +59,7 @@ DeviceParams::ddr3_1600()
     p.tRP = p.cyc(13.5);
     p.tRAS = p.cyc(37.0);
     p.tRTRS = 2;
+    p.tRRD = p.cyc(7.5); // datasheet tRRD (2 KB page class)
     p.tFAW = p.cyc(40.0);
     p.tWTR = p.cyc(7.5);
     // Datasheet values not listed in Table 2.
@@ -114,6 +115,7 @@ DeviceParams::lpddr2_800()
     p.tRP = p.cyc(18.0);
     p.tRAS = p.cyc(42.0);
     p.tRTRS = 2;
+    p.tRRD = p.cyc(10.0); // datasheet tRRD
     p.tFAW = p.cyc(50.0);
     p.tWTR = p.cyc(7.5);
     p.tRTP = p.cyc(7.5);
@@ -195,7 +197,8 @@ DeviceParams::rldram3()
     p.tRP = 0;  // auto-precharge folded into tRC
     p.tRAS = 0;
     p.tRTRS = 2;
-    p.tFAW = 0; // "RLDRAM does not have any such restrictions"
+    p.tRRD = 0; // "RLDRAM does not have any such restrictions"
+    p.tFAW = 0;
     p.tWTR = 0;
     p.tRTP = 0;
     p.tWR = 0;

@@ -87,6 +87,7 @@ struct DeviceParams
     unsigned tRP = 0;    ///< precharge period
     unsigned tRAS = 0;   ///< activate-to-precharge minimum
     unsigned tRTRS = 2;  ///< rank-to-rank data-bus switch
+    unsigned tRRD = 0;   ///< activate-to-activate, same rank (0 = none)
     unsigned tFAW = 0;   ///< four-activate window (0 = unrestricted)
     unsigned tWTR = 0;   ///< write-to-read turnaround
     unsigned tRTP = 0;   ///< read-to-precharge

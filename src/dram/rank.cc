@@ -32,9 +32,18 @@ Rank::fawAllows(Tick now) const
     return now >= fourth_ago + params_.ticks(params_.tFAW);
 }
 
+bool
+Rank::rrdAllows(Tick now) const
+{
+    if (params_.tRRD == 0 || lastActivate_ == kTickNever)
+        return true;
+    return now >= lastActivate_ + params_.ticks(params_.tRRD);
+}
+
 void
 Rank::recordActivate(Tick now)
 {
+    lastActivate_ = now;
     actWindow_[actWindowIdx_] = now;
     actWindowIdx_ = (actWindowIdx_ + 1) % actWindow_.size();
     actCount_ += 1;

@@ -59,9 +59,12 @@ class Rank
 
     std::vector<Bank> banks;
 
-    // ---- tFAW ----
+    // ---- tFAW / tRRD ----
     /** True if an ACTIVATE at @p now respects the four-activate window. */
     bool fawAllows(Tick now) const;
+    /** True if an ACTIVATE at @p now respects the activate-to-activate
+     *  spacing to any bank of this rank. */
+    bool rrdAllows(Tick now) const;
     void recordActivate(Tick now);
 
     // ---- power-down ----
@@ -104,6 +107,7 @@ class Rank
     std::array<Tick, 4> actWindow_{};
     unsigned actWindowIdx_ = 0;
     std::uint64_t actCount_ = 0;
+    Tick lastActivate_ = kTickNever;
 
     RankActivity activity_;
 };

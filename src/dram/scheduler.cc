@@ -148,6 +148,8 @@ Channel::tryColumn(MemRequest &req, Tick now, bool commit)
             return false;
         if (params_.tFAW != 0 && !rank.fawAllows(now))
             return false;
+        if (!rank.rrdAllows(now))
+            return false;
         if (!commit)
             return true;
         bank.compoundAccess(now, params_, !is_read);
@@ -222,6 +224,8 @@ Channel::tryPrep(MemRequest &req, Tick now)
     if (!bank.canActivate(now))
         return false;
     if (!rank.fawAllows(now))
+        return false;
+    if (!rank.rrdAllows(now))
         return false;
     if (sharedCmdBus_ && !sharedCmdBus_->tryReserve(now))
         return false;

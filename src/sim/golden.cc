@@ -1,0 +1,149 @@
+#include "sim/golden.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.hh"
+#include "dram/dram_params.hh"
+#include "sim/report.hh"
+#include "workloads/suite.hh"
+
+namespace hetsim::sim
+{
+
+const char *const kGoldenBenchmark = "mcf";
+
+const std::vector<GoldenSpec> &
+goldenSpecs()
+{
+    // The six configurations the paper's headline figures compare.
+    static const std::vector<GoldenSpec> specs = {
+        {MemConfig::BaselineDDR3, "baseline_ddr3"},
+        {MemConfig::CwfRD, "cwf_rd"},
+        {MemConfig::CwfRL, "cwf_rl"},
+        {MemConfig::CwfRLAdaptive, "cwf_rl_ad"},
+        {MemConfig::CwfRLOracle, "cwf_rl_or"},
+        {MemConfig::HmcCdf, "hmc_cdf"},
+    };
+    return specs;
+}
+
+RunConfig
+goldenRunConfig()
+{
+    // Deliberately NOT derived from HETSIM_READS or any other env knob:
+    // the whole point is that every machine reproduces the same run.
+    RunConfig rc;
+    rc.measureReads = 2000;
+    rc.warmupReads = 400;
+    rc.maxWarmupTicks = 3'000'000;
+    rc.maxMeasureTicks = 30'000'000;
+    rc.statsWindowEvery = 0;
+    return rc;
+}
+
+namespace
+{
+
+/** Round to 9 significant digits so the digest tolerates sub-ulp noise
+ *  (e.g. compiler FP contraction differences) without hiding real model
+ *  drift. */
+double
+roundSig(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return std::strtod(buf, nullptr);
+}
+
+void
+percentiles(JsonWriter &w, const char *name, double p50, double p95,
+            double p99)
+{
+    w.key(name).beginArray();
+    w.value(roundSig(p50)).value(roundSig(p95)).value(roundSig(p99));
+    w.endArray();
+}
+
+} // namespace
+
+std::string
+renderGoldenDigest(System &system, const RunResult &result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value(1);
+    w.key("config").value(toString(system.params().mem));
+    w.key("backend").value(system.backend().name());
+    w.key("benchmark").value(system.profile().name);
+    w.key("cores").value(system.activeCores());
+    w.key("seed").value(system.params().seed);
+    const RunConfig rc = goldenRunConfig();
+    w.key("measure_reads").value(rc.measureReads);
+    w.key("warmup_reads").value(rc.warmupReads);
+
+    w.key("window_ticks").value(
+        static_cast<std::uint64_t>(result.windowTicks));
+    w.key("demand_reads").value(result.demandReads);
+    w.key("writebacks").value(result.writebacks);
+    w.key("mshr_full_stalls").value(result.mshrFullStalls);
+
+    w.key("agg_ipc").value(roundSig(result.aggIpc));
+    w.key("per_core_ipc").beginArray();
+    for (double ipc : result.perCoreIpc)
+        w.value(roundSig(ipc));
+    w.endArray();
+
+    w.key("dram_power_mw").value(roundSig(result.dramPowerMw));
+    // mW x s == mJ: the window's DRAM energy, the paper's other axis.
+    w.key("energy_mj").value(roundSig(result.dramPowerMw *
+                                      result.seconds));
+    w.key("bus_utilization").value(roundSig(result.busUtilization));
+    w.key("row_hit_rate").value(roundSig(result.rowHitRate));
+
+    w.key("queue_latency_ticks").value(roundSig(result.latency.queueTicks));
+    w.key("service_latency_ticks")
+        .value(roundSig(result.latency.serviceTicks));
+    w.key("total_latency_ticks").value(roundSig(result.latency.totalTicks));
+    w.key("critical_word_latency_ticks")
+        .value(roundSig(result.criticalWordLatencyTicks));
+
+    w.key("served_by_fast_fraction")
+        .value(roundSig(result.servedByFastFraction));
+    w.key("early_wake_fraction").value(roundSig(result.earlyWakeFraction));
+    w.key("fast_lead_ticks").value(roundSig(result.fastLeadTicks));
+    percentiles(w, "fast_lead_p", result.fastLeadP50, result.fastLeadP95,
+                result.fastLeadP99);
+    percentiles(w, "early_wake_lead_p", result.earlyWakeLeadP50,
+                result.earlyWakeLeadP95, result.earlyWakeLeadP99);
+    percentiles(w, "miss_latency_p", result.missLatencyP50,
+                result.missLatencyP95, result.missLatencyP99);
+
+    w.key("critical_word_dist").beginArray();
+    for (double frac : result.criticalWordDist)
+        w.value(roundSig(frac));
+    w.endArray();
+    w.key("second_access_gap_ticks")
+        .value(roundSig(result.secondAccessGapTicks));
+    w.key("second_before_complete_fraction")
+        .value(roundSig(result.secondBeforeCompleteFraction));
+    w.endObject();
+    return w.str() + "\n";
+}
+
+GoldenOutcome
+runGolden(const GoldenSpec &spec)
+{
+    SystemParams params;
+    params.mem = spec.config;
+    params.seed = kGoldenSeed;
+    System system(params, workloads::suite::byName(kGoldenBenchmark),
+                  kGoldenCores);
+    GoldenOutcome out;
+    out.result = runSimulation(system, goldenRunConfig());
+    out.digest = renderGoldenDigest(system, out.result);
+    out.fullReport = renderReportJson(system, out.result);
+    return out;
+}
+
+} // namespace hetsim::sim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic golden-run regression layer: seeded, fully reproducible
+ * runs of the paper's six headline memory configurations (DDR3 baseline,
+ * RD, RL, RL AD, RL OR, HMC) reduced to a canonical digest — IPC, DRAM
+ * power/energy, latency and lead-time percentiles — that is compared
+ * byte-for-byte against the checked-in `tests/golden/*.json` baselines.
+ *
+ * Digest doubles are rounded to 9 significant digits so the comparison
+ * is robust to sub-ulp noise while still catching any real model drift.
+ * Regenerate baselines with `scripts/regen_golden.sh` after an intended
+ * model change (the golden-run test rewrites them under
+ * HETSIM_REGEN_GOLDEN=1).
+ */
+
+#ifndef HETSIM_SIM_GOLDEN_HH
+#define HETSIM_SIM_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+
+namespace hetsim::sim
+{
+
+/** One pinned configuration of the golden suite. */
+struct GoldenSpec
+{
+    MemConfig config;
+    const char *key; ///< stable file stem, e.g. "cwf_rl" -> cwf_rl.json
+};
+
+/** The six paper configurations covered by the golden suite. */
+const std::vector<GoldenSpec> &goldenSpecs();
+
+/** The pinned workload/run shape shared by every golden run. */
+extern const char *const kGoldenBenchmark;
+constexpr unsigned kGoldenCores = 8;
+constexpr std::uint64_t kGoldenSeed = 12345;
+
+/** Small fixed window (never influenced by HETSIM_READS-style env). */
+RunConfig goldenRunConfig();
+
+struct GoldenOutcome
+{
+    std::string digest;     ///< canonical digest JSON (compared to file)
+    std::string fullReport; ///< full renderReportJson (bit-stability check)
+    RunResult result;
+};
+
+/** Build + run one golden configuration from a cold system. */
+GoldenOutcome runGolden(const GoldenSpec &spec);
+
+/** Render the canonical digest for an already-finished run. */
+std::string renderGoldenDigest(System &system, const RunResult &result);
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_GOLDEN_HH

@@ -10,6 +10,7 @@
 #include <set>
 #include <tuple>
 
+#include "common/rng.hh"
 #include "dram/address_map.hh"
 
 using namespace hetsim;
@@ -85,6 +86,7 @@ TEST_P(AddressMapBijectivity, DecodeIsInjectiveOverCapacity)
         ASSERT_TRUE(
             seen.insert({c.channel, c.rank, c.bank, c.row, c.col}).second)
             << "collision at line " << line;
+        ASSERT_EQ(map.encode(c), line) << "encode(decode(x)) != x";
     }
 }
 
@@ -107,6 +109,47 @@ TEST(AddressMap, WrapsBeyondCapacity)
     EXPECT_EQ(a.bank, b.bank);
     EXPECT_EQ(a.row, b.row);
     EXPECT_EQ(a.col, b.col);
+}
+
+TEST(AddressMap, EncodeRoundTripsRandomLinesAtPaperGeometry)
+{
+    // Property test at the full paper-scale geometry, where exhaustive
+    // enumeration is infeasible: encode(decode(x)) == x for random
+    // in-capacity indices, on both schemes.
+    for (const MapScheme scheme :
+         {MapScheme::OpenPage, MapScheme::ClosePage}) {
+        AddressMap map(scheme, 4, 2, 8, 32768, 128);
+        const std::uint64_t cap = map.capacityLines();
+        Rng rng(scheme == MapScheme::OpenPage ? 17 : 18);
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t line = rng.below(cap);
+            ASSERT_EQ(map.encode(map.decode(line)), line)
+                << "scheme " << int(scheme) << " line " << line;
+        }
+    }
+}
+
+TEST(AddressMap, DecodeRoundTripsRandomCoords)
+{
+    // The inverse direction: decode(encode(c)) == c for random valid
+    // coordinates (exercises the bank-hash inversion at rows where the
+    // hash offset is non-trivial).
+    AddressMap map(MapScheme::ClosePage, 3, 2, 8, 512, 32);
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        DramCoord c;
+        c.channel = static_cast<std::uint8_t>(rng.below(3));
+        c.rank = static_cast<std::uint8_t>(rng.below(2));
+        c.bank = static_cast<std::uint8_t>(rng.below(8));
+        c.row = static_cast<std::uint32_t>(rng.below(512));
+        c.col = static_cast<std::uint32_t>(rng.below(32));
+        const DramCoord d = map.decode(map.encode(c));
+        ASSERT_EQ(d.channel, c.channel);
+        ASSERT_EQ(d.rank, c.rank);
+        ASSERT_EQ(d.bank, c.bank);
+        ASSERT_EQ(d.row, c.row);
+        ASSERT_EQ(d.col, c.col);
+    }
 }
 
 TEST(AddressMap, ChannelOfMatchesDecode)

@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "check/checker.hh"
 #include "common/rng.hh"
 #include "dram/channel.hh"
 
@@ -164,6 +165,55 @@ TEST_P(ChannelProperties, AuditInvariantsHold)
     // (7) Commands only issue on memory-cycle boundaries.
     for (const auto &ev : audit)
         EXPECT_EQ(ev.at % dev.clockDivider, 0u);
+}
+
+/** The same randomized streams, judged by the runtime protocol validator
+ *  instead of the hand-rolled assertions above: the checker re-derives
+ *  every JEDEC rule from DeviceParams and must find the scheduler clean
+ *  on all devices (DDR3/LPDDR2/RLDRAM3, 1..4 ranks, mixed read/write). */
+TEST_P(ChannelProperties, ProtocolCheckerFindsSchedulerClean)
+{
+    const auto sp = GetParam();
+    const DeviceParams dev = device(sp.kind);
+
+    auto &checker = check::Checker::instance();
+    checker.enable(check::Mode::Collect);
+
+    {
+        Channel chan("propchk", dev, sp.ranks);
+        Rng rng(sp.seed ^ 0xc0ffee);
+        unsigned injected = 0;
+        Tick t = 0;
+        const Tick horizon = 40'000'000;
+        while ((injected < sp.requests || !chan.idle()) && t < horizon) {
+            if (injected < sp.requests && rng.chance(0.15)) {
+                MemRequest req;
+                req.id = injected;
+                req.lineAddr = injected * 64ULL;
+                req.type = rng.chance(sp.writeFraction)
+                               ? AccessType::Write
+                               : AccessType::Read;
+                req.coord = DramCoord{
+                    0, static_cast<std::uint8_t>(rng.below(sp.ranks)),
+                    static_cast<std::uint8_t>(
+                        rng.below(dev.banksPerRank)),
+                    static_cast<std::uint32_t>(rng.below(64)),
+                    static_cast<std::uint32_t>(
+                        rng.below(dev.lineColsPerRow))};
+                if (chan.canAccept(req.type)) {
+                    chan.enqueue(req, t);
+                    injected += 1;
+                }
+            }
+            chan.tick(t);
+            t += 1;
+        }
+        ASSERT_LT(t, horizon) << "channel failed to drain";
+    }
+
+    checker.finalizeAll();
+    EXPECT_TRUE(checker.violations().empty()) << checker.report();
+    checker.disable();
 }
 
 INSTANTIATE_TEST_SUITE_P(

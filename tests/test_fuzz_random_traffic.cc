@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Random-traffic fuzzing under the runtime protocol validator: whole
+ * systems (cores + caches + heterogeneous backends) driven by randomized
+ * workload seeds, and a bursty synthetic storm on a raw channel, must
+ * produce zero protocol or model-invariant violations.  CI runs this
+ * binary under ASan/UBSan, so the fuzz also shakes out memory errors in
+ * the checker's own bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <tuple>
+
+#include "check/checker.hh"
+#include "common/rng.hh"
+#include "dram/channel.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+using check::Checker;
+using check::Mode;
+
+namespace
+{
+
+class FuzzSystem
+    : public ::testing::TestWithParam<
+          std::tuple<MemConfig, const char *, std::uint64_t>>
+{
+};
+
+TEST_P(FuzzSystem, RandomTrafficProducesNoViolations)
+{
+    const auto [mem, bench, seed] = GetParam();
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    {
+        SystemParams p;
+        p.mem = mem;
+        p.seed = seed;
+        System system(p, workloads::suite::byName(bench), 8);
+        RunConfig rc;
+        rc.measureReads = 600;
+        rc.warmupReads = 200;
+        const RunResult r = runSimulation(system, rc);
+        EXPECT_GT(r.demandReads, 0u);
+        // The run stops mid-flight, so live MSHRs are legitimate here;
+        // leak detection (finalizeAll) belongs to drained-stream tests.
+        EXPECT_TRUE(checker.violations().empty()) << checker.report();
+    }
+    checker.disable();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, FuzzSystem,
+    ::testing::Values(
+        std::make_tuple(MemConfig::BaselineDDR3, "milc", 0xfeedULL),
+        std::make_tuple(MemConfig::CwfRL, "mcf", 0xbeefULL),
+        std::make_tuple(MemConfig::CwfRL, "omnetpp", 7ULL),
+        std::make_tuple(MemConfig::CwfRLAdaptive, "leslie3d", 11ULL),
+        std::make_tuple(MemConfig::CwfRD, "xalancbmk", 13ULL),
+        std::make_tuple(MemConfig::HmcCdf, "libquantum", 17ULL)),
+    [](const auto &info) {
+        std::string name = std::string(toString(std::get<0>(info.param))) +
+                           "_" + std::get<1>(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(FuzzChannel, BurstyStormDrainsCleanWithNoLeaks)
+{
+    // A harsher stream than the property sweep: ~1k requests injected in
+    // bursts (saturating the queue, forcing refresh catch-up and
+    // power-down churn), drained to idle, then leak-checked.
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    {
+        const dram::DeviceParams dev = dram::DeviceParams::ddr3_1600();
+        dram::Channel chan("fuzz", dev, 2);
+        Rng rng(0x57024);
+        unsigned injected = 0;
+        Tick t = 0;
+        const Tick horizon = 120'000'000;
+        while ((injected < 1000 || !chan.idle()) && t < horizon) {
+            // Bursts: long quiet gaps (power-down entry) then floods.
+            const bool burst = (t / 5000) % 3 == 0;
+            if (injected < 1000 && burst && rng.chance(0.5)) {
+                dram::MemRequest req;
+                req.id = injected;
+                req.lineAddr = injected * 64ULL;
+                req.type = rng.chance(0.35) ? AccessType::Write
+                                            : AccessType::Read;
+                req.coord = dram::DramCoord{
+                    0, static_cast<std::uint8_t>(rng.below(2)),
+                    static_cast<std::uint8_t>(rng.below(dev.banksPerRank)),
+                    static_cast<std::uint32_t>(rng.below(128)),
+                    static_cast<std::uint32_t>(
+                        rng.below(dev.lineColsPerRow))};
+                if (chan.canAccept(req.type)) {
+                    chan.enqueue(req, t);
+                    injected += 1;
+                }
+            }
+            chan.tick(t);
+            t += 1;
+        }
+        ASSERT_LT(t, horizon) << "storm failed to drain";
+    }
+    checker.finalizeAll();
+    EXPECT_TRUE(checker.violations().empty()) << checker.report();
+    checker.disable();
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Golden-run regression: each of the paper's six headline configurations
+ * is run with a pinned seed/workload/window, reduced to a canonical
+ * digest and compared byte-for-byte against `tests/golden/<key>.json`.
+ * Any model change that shifts timing, power or CWF behaviour shows up
+ * as a digest diff; intended changes are blessed with
+ * `scripts/regen_golden.sh` (which reruns this binary with
+ * HETSIM_REGEN_GOLDEN=1 to rewrite the files).
+ *
+ * Each configuration is also run twice in-process and must produce a
+ * bit-identical digest AND bit-identical full JSON report — the
+ * determinism guarantee the digest comparison rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "sim/golden.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+namespace
+{
+
+std::string
+goldenPath(const GoldenSpec &spec)
+{
+    return std::string(HETSIM_GOLDEN_DIR) + "/" + spec.key + ".json";
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("HETSIM_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class GoldenRun : public ::testing::TestWithParam<GoldenSpec>
+{
+};
+
+TEST_P(GoldenRun, DigestMatchesCheckedInBaseline)
+{
+    const GoldenSpec &spec = GetParam();
+    const GoldenOutcome got = runGolden(spec);
+
+    std::string error;
+    ASSERT_TRUE(jsonValid(got.digest, &error)) << error;
+    ASSERT_TRUE(jsonValid(got.fullReport, &error)) << error;
+
+    const std::string path = goldenPath(spec);
+    if (regenRequested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got.digest;
+        ASSERT_TRUE(out.good()) << "short write to " << path;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    const std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << path << " missing; run scripts/regen_golden.sh";
+    EXPECT_EQ(expected, got.digest)
+        << "golden digest drift for " << spec.key
+        << "; if the model change is intended, bless it with "
+           "scripts/regen_golden.sh";
+}
+
+TEST_P(GoldenRun, IdenticalSeedsAreBitIdentical)
+{
+    const GoldenSpec &spec = GetParam();
+    const GoldenOutcome a = runGolden(spec);
+    const GoldenOutcome b = runGolden(spec);
+    EXPECT_EQ(a.digest, b.digest) << spec.key;
+    EXPECT_EQ(a.fullReport, b.fullReport)
+        << spec.key << ": full JSON report must be byte-stable across "
+                       "same-seed runs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, GoldenRun, ::testing::ValuesIn(goldenSpecs()),
+    [](const ::testing::TestParamInfo<GoldenSpec> &info) {
+        return std::string(info.param.key);
+    });
+
+TEST(GoldenSuite, CoversSixConfigs)
+{
+    EXPECT_EQ(goldenSpecs().size(), 6u);
+}
+
+} // namespace

@@ -119,10 +119,10 @@ TEST(Simulation, AdaptiveBeatsStaticForMcf)
     // longer window than the others; the AD-over-RL gap keeps growing
     // with the quantum (the paper's 2M-read windows show +2.8%).
     RunConfig rc;
-    rc.measureReads = 40000;
-    rc.warmupReads = 15000;
-    rc.maxWarmupTicks = 60'000'000;
-    rc.maxMeasureTicks = 120'000'000;
+    rc.measureReads = 80000;
+    rc.warmupReads = 20000;
+    rc.maxWarmupTicks = 80'000'000;
+    rc.maxMeasureTicks = 240'000'000;
     SystemParams st_p;
     st_p.mem = MemConfig::CwfRL;
     System st_sys(st_p, workloads::suite::byName("mcf"), 8);
