@@ -24,6 +24,7 @@ main()
         ExperimentRunner::paramsFor(MemConfig::HomoRLDRAM3);
     const SystemParams lpddr =
         ExperimentRunner::paramsFor(MemConfig::HomoLPDDR2);
+    runner.prefetchThroughput({rldram, lpddr}, baseline);
 
     Table t({"benchmark", "DDR3", "RLDRAM3", "LPDDR2"});
     std::vector<double> rl_norms, lp_norms;

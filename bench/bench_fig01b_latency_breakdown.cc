@@ -20,6 +20,10 @@ main()
         "than DDR3");
 
     ExperimentRunner runner;
+    runner.prefetchShared(
+        {ExperimentRunner::paramsFor(MemConfig::BaselineDDR3),
+         ExperimentRunner::paramsFor(MemConfig::HomoRLDRAM3),
+         ExperimentRunner::paramsFor(MemConfig::HomoLPDDR2)});
 
     Table t({"memory", "queue (ns)", "core (ns)", "total (ns)",
              "row-hit rate"});

@@ -21,6 +21,7 @@ main()
     ExperimentRunner runner;
     const SystemParams baseline =
         ExperimentRunner::paramsFor(MemConfig::BaselineDDR3);
+    runner.prefetchShared({baseline});
 
     Table t({"benchmark", "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"});
     double w0_sum = 0;

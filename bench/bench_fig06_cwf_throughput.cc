@@ -25,6 +25,7 @@ main()
     const SystemParams rd = ExperimentRunner::paramsFor(MemConfig::CwfRD);
     const SystemParams rl = ExperimentRunner::paramsFor(MemConfig::CwfRL);
     const SystemParams dl = ExperimentRunner::paramsFor(MemConfig::CwfDL);
+    runner.prefetchThroughput({rd, rl, dl}, baseline);
 
     Table t({"benchmark", "RD", "RL", "DL"});
     std::vector<double> rd_n, rl_n, dl_n;

@@ -23,6 +23,12 @@ main()
     const std::vector<MemConfig> configs{
         MemConfig::BaselineDDR3, MemConfig::CwfRD, MemConfig::CwfRL,
         MemConfig::CwfDL};
+    {
+        std::vector<SystemParams> shared;
+        for (const MemConfig mem : configs)
+            shared.push_back(ExperimentRunner::paramsFor(mem));
+        runner.prefetchShared(shared);
+    }
 
     Table t({"benchmark", "DDR3 (ns)", "RD (ns)", "RL (ns)", "DL (ns)"});
     std::vector<double> sums(configs.size(), 0.0);

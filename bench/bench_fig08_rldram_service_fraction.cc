@@ -20,6 +20,7 @@ main()
 
     ExperimentRunner runner;
     const SystemParams rl = ExperimentRunner::paramsFor(MemConfig::CwfRL);
+    runner.prefetchShared({rl});
 
     Table t({"benchmark", "served by RLDRAM3", "early wakes / miss"});
     double sum = 0;

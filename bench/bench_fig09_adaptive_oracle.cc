@@ -24,6 +24,12 @@ main()
     const std::vector<MemConfig> configs{
         MemConfig::CwfRL, MemConfig::CwfRLAdaptive, MemConfig::CwfRLOracle,
         MemConfig::HomoRLDRAM3};
+    {
+        std::vector<SystemParams> sweep;
+        for (const MemConfig mem : configs)
+            sweep.push_back(ExperimentRunner::paramsFor(mem));
+        runner.prefetchThroughput(sweep, baseline);
+    }
 
     Table t({"benchmark", "RL", "RL AD", "RL OR", "RLDRAM3",
              "AD fast-served", "OR fast-served"});

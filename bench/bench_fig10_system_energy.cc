@@ -26,6 +26,10 @@ main()
     ExperimentRunner runner;
     const SystemParams baseline =
         ExperimentRunner::paramsFor(MemConfig::BaselineDDR3);
+    runner.prefetchShared({baseline,
+                           ExperimentRunner::paramsFor(MemConfig::CwfRL),
+                           ExperimentRunner::paramsFor(MemConfig::CwfDL),
+                           ExperimentRunner::paramsFor(MemConfig::CwfRD)});
 
     Table t({"benchmark", "RL system", "RL memory", "DL system",
              "DL memory", "RD system"});

@@ -28,6 +28,7 @@ main()
     const SystemParams baseline =
         ExperimentRunner::paramsFor(MemConfig::BaselineDDR3);
     const SystemParams rl = ExperimentRunner::paramsFor(MemConfig::CwfRL);
+    runner.prefetchShared({baseline, rl});
 
     struct Point
     {

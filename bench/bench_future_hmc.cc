@@ -27,6 +27,7 @@ main()
     const SystemParams hmc =
         ExperimentRunner::paramsFor(MemConfig::HmcBaseline);
     const SystemParams cdf = ExperimentRunner::paramsFor(MemConfig::HmcCdf);
+    runner.prefetchThroughput({hmc, cdf}, ddr3);
 
     Table t({"benchmark", "HMC vs DDR3", "HMC-CDF vs DDR3",
              "CDF vs plain HMC", "CDF crit. latency (cyc)",

@@ -18,6 +18,12 @@ main()
         "RL improves 17.3% without the prefetcher vs 12.9% with it");
 
     ExperimentRunner runner;
+    runner.prefetchThroughput(
+        {ExperimentRunner::paramsFor(MemConfig::CwfRL, true)},
+        ExperimentRunner::paramsFor(MemConfig::BaselineDDR3, true));
+    runner.prefetchThroughput(
+        {ExperimentRunner::paramsFor(MemConfig::CwfRL, false)},
+        ExperimentRunner::paramsFor(MemConfig::BaselineDDR3, false));
 
     Table t({"benchmark", "RL gain (prefetch on)",
              "RL gain (prefetch off)"});

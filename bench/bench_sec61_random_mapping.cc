@@ -26,6 +26,7 @@ main()
     const SystemParams rl = ExperimentRunner::paramsFor(MemConfig::CwfRL);
     const SystemParams rnd =
         ExperimentRunner::paramsFor(MemConfig::CwfRLRandom);
+    runner.prefetchThroughput({rl, rnd}, baseline);
 
     Table t({"benchmark", "RL (static w0)", "RL random",
              "random fast-served"});

@@ -30,6 +30,7 @@ main()
     const SystemParams rl = ExperimentRunner::paramsFor(MemConfig::CwfRL);
     const SystemParams malladi =
         ExperimentRunner::paramsFor(MemConfig::CwfRLMalladi);
+    runner.prefetchThroughput({rl, malladi}, baseline);
 
     Table t({"benchmark", "RL perf", "Malladi perf", "RL mem energy",
              "Malladi mem energy"});

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulation-throughput benchmark for the two PR-level speedups:
+ *
+ *  1. Idle-cycle fast-forward — simulated ticks/second of one system
+ *     (CwfRL, mcf, 8 cores) with per-tick stepping vs. event jumps,
+ *     plus how many ticks the jump path actually skipped.
+ *
+ *  2. Parallel sweep engine — wall clock of the full six-config mcf
+ *     golden sweep on the pre-PR equivalent path (serial runner,
+ *     fast-forward off) vs. the new path (HETSIM_JOBS workers,
+ *     fast-forward on).
+ *
+ * Besides the usual table + CSV, a machine-readable summary is printed
+ * between "--- bench json ---" markers; scripts_assemble_bench.sh
+ * extracts it into BENCH_tick_loop.json so the repo carries a pinned
+ * baseline of both speedups.
+ */
+
+#include <chrono>
+#include <sstream>
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "sim/golden.hh"
+#include "workloads/suite.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    const auto d = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(d).count();
+}
+
+struct TickRate
+{
+    double seconds = 0;
+    std::uint64_t ticks = 0;    ///< simulated ticks advanced
+    std::uint64_t stepped = 0;  ///< ticks executed one by one
+    double ticksPerSec() const { return ticks / seconds; }
+};
+
+/** Run one golden-shaped system to completion and report tick rates. */
+TickRate
+measureSystem(bool fast_forward)
+{
+    SystemParams params;
+    params.mem = MemConfig::CwfRL;
+    params.seed = kGoldenSeed;
+    const auto &profile = workloads::suite::byName(kGoldenBenchmark);
+    System system(params, profile, kGoldenCores);
+    system.setFastForward(fast_forward);
+
+    const auto start = std::chrono::steady_clock::now();
+    (void)runSimulation(system, goldenRunConfig());
+    TickRate r;
+    r.seconds = secondsSince(start);
+    r.ticks = static_cast<std::uint64_t>(system.now());
+    r.stepped = system.tickCalls();
+    return r;
+}
+
+/** Wall clock of the six-config mcf golden sweep through the runner. */
+double
+measureSweep(unsigned jobs, bool fast_forward)
+{
+    setenv("HETSIM_FASTFWD", fast_forward ? "1" : "0", 1);
+    ExperimentRunner runner(jobs);
+    std::vector<RunSpec> specs;
+    for (const auto &spec : goldenSpecs()) {
+        SystemParams p = ExperimentRunner::paramsFor(spec.config);
+        p.seed = kGoldenSeed;
+        specs.push_back(RunSpec{p, kGoldenBenchmark, kGoldenCores});
+    }
+    const auto start = std::chrono::steady_clock::now();
+    runner.prefetch(specs);
+    const double s = secondsSince(start);
+    setenv("HETSIM_FASTFWD", "1", 1);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Simulator performance", "tick-loop and sweep throughput",
+        "n/a (engineering benchmark: idle-cycle fast-forward and the "
+        "HETSIM_JOBS parallel sweep engine)");
+
+    const unsigned jobs = ThreadPool::jobsFromEnv();
+
+    // ---- part 1: single-system tick loop ----
+    const TickRate serial = measureSystem(false);
+    const TickRate ff = measureSystem(true);
+    const double tick_speedup = ff.ticksPerSec() / serial.ticksPerSec();
+    const double skipped_frac =
+        1.0 - static_cast<double>(ff.stepped) /
+                  static_cast<double>(ff.ticks);
+
+    Table t1({"mode", "ticks", "stepped", "seconds", "ticks/sec"});
+    t1.addRow({"per-tick", std::to_string(serial.ticks),
+               std::to_string(serial.stepped),
+               Table::num(serial.seconds, 3),
+               Table::num(serial.ticksPerSec() / 1e6, 2) + "M"});
+    t1.addRow({"fast-forward", std::to_string(ff.ticks),
+               std::to_string(ff.stepped), Table::num(ff.seconds, 3),
+               Table::num(ff.ticksPerSec() / 1e6, 2) + "M"});
+    bench::printTableAndCsv(t1);
+    std::cout << "\nfast-forward skipped "
+              << Table::percent(skipped_frac)
+              << " of simulated ticks; ticks/sec speedup "
+              << Table::num(tick_speedup, 2) << "x\n\n";
+
+    // ---- part 2: six-config mcf golden sweep ----
+    const double sweep_serial = measureSweep(1, false); // pre-PR path
+    const double sweep_fast = measureSweep(jobs, true);
+    const double sweep_speedup = sweep_serial / sweep_fast;
+
+    Table t2({"engine", "jobs", "fast-forward", "seconds"});
+    t2.addRow({"pre-PR serial", "1", "off",
+               Table::num(sweep_serial, 3)});
+    t2.addRow({"parallel+ff", std::to_string(jobs), "on",
+               Table::num(sweep_fast, 3)});
+    bench::printTableAndCsv(t2);
+    std::cout << "\nsix-config mcf sweep speedup "
+              << Table::num(sweep_speedup, 2) << "x with HETSIM_JOBS="
+              << jobs << "\n";
+
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(4);
+    json << "{\n"
+         << "  \"tick_loop\": {\n"
+         << "    \"ticks\": " << ff.ticks << ",\n"
+         << "    \"serial_ticks_per_sec\": " << serial.ticksPerSec()
+         << ",\n"
+         << "    \"fastforward_ticks_per_sec\": " << ff.ticksPerSec()
+         << ",\n"
+         << "    \"skipped_tick_fraction\": " << skipped_frac << ",\n"
+         << "    \"speedup\": " << tick_speedup << "\n"
+         << "  },\n"
+         << "  \"sweep\": {\n"
+         << "    \"configs\": 6,\n"
+         << "    \"workload\": \"" << kGoldenBenchmark << "\",\n"
+         << "    \"jobs\": " << jobs << ",\n"
+         << "    \"serial_seconds\": " << sweep_serial << ",\n"
+         << "    \"parallel_ff_seconds\": " << sweep_fast << ",\n"
+         << "    \"speedup\": " << sweep_speedup << "\n"
+         << "  }\n"
+         << "}";
+    std::cout << "\n--- bench json ---\n" << json.str()
+              << "\n--- end bench json ---\n";
+    return 0;
+}

@@ -10,3 +10,12 @@ for b in /root/repo/build/bench/*; do
     echo >> "$out"
 done
 echo "assembled $(grep -c '########' "$out") sections"
+
+# Extract bench_tick_loop's machine-readable summary into a pinned
+# baseline of the simulator-performance numbers.
+tick=/tmp/benchout/bench_tick_loop.txt
+if [ -f "$tick" ]; then
+    sed -n '/^--- bench json ---$/,/^--- end bench json ---$/p' "$tick" |
+        sed '1d;$d' > /root/repo/BENCH_tick_loop.json
+    echo "wrote BENCH_tick_loop.json"
+fi

@@ -324,6 +324,18 @@ Hierarchy::tick(Tick now)
     }
 }
 
+Tick
+Hierarchy::nextEventTick(Tick now) const
+{
+    if (pendingWritebacks_.empty())
+        return kTickNever;
+    if (backend_.canAcceptWriteback(pendingWritebacks_.front()))
+        return now;
+    // Queue full: admission frees only when the target channel issues a
+    // write, which is one of the backend's own events.
+    return kTickNever;
+}
+
 double
 Hierarchy::criticalWordFraction(unsigned w) const
 {

@@ -77,6 +77,11 @@ class Hierarchy
     /** Per-tick housekeeping: drains the writeback queue. */
     void tick(Tick now);
 
+    /** Earliest tick >= now at which tick() can do work: immediately
+     *  while a writeback can drain, never otherwise (a full backend
+     *  queue frees up only at one of the backend's own events). */
+    Tick nextEventTick(Tick now) const;
+
     // ---- statistics ----
     struct HierStats
     {

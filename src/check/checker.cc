@@ -11,7 +11,7 @@ namespace hetsim::check
 
 namespace detail
 {
-bool g_checkEnabled = false;
+std::atomic<bool> g_checkEnabled{false};
 } // namespace detail
 
 namespace
@@ -118,6 +118,7 @@ Checker::configureFromEnvironment()
 void
 Checker::enable(Mode mode)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     mode_ = mode;
     clearState();
     detail::g_checkEnabled = true;
@@ -126,6 +127,7 @@ Checker::enable(Mode mode)
 void
 Checker::disable()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     detail::g_checkEnabled = false;
 }
 
@@ -143,6 +145,7 @@ Checker::clearState()
 std::size_t
 Checker::count(Rule rule) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::size_t n = 0;
     for (const auto &v : violations_) {
         if (v.rule == rule)
@@ -154,6 +157,7 @@ Checker::count(Rule rule) const
 std::string
 Checker::report() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
     os << "protocol-check: " << violations_.size() << " violation(s)";
     if (suppressed_ > 0)
@@ -339,6 +343,7 @@ Checker::dramCommand(const void *chan, const std::string &name,
                      Tick at, const dram::DramCoord &coord, Tick data_start,
                      Tick data_end)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ChannelState &cs = stateFor(chan, name, params);
     const dram::DeviceParams &p = params;
     const unsigned rank = coord.rank;
@@ -502,6 +507,7 @@ Checker::rankPowerDown(const void *chan, const std::string &name,
                        const dram::DeviceParams &params, unsigned rank,
                        Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ChannelState &cs = stateFor(chan, name, params);
     RankState &rs = cs.ranks[rank];
     if (rs.poweredDown) {
@@ -536,6 +542,7 @@ void
 Checker::rankWake(const void *chan, const std::string &name,
                   const dram::DeviceParams &params, unsigned rank, Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ChannelState &cs = stateFor(chan, name, params);
     RankState &rs = cs.ranks[rank];
     if (!rs.poweredDown) {
@@ -549,6 +556,7 @@ Checker::rankWake(const void *chan, const std::string &name,
 void
 Checker::channelDestroyed(const void *chan)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     channels_.erase(chan);
 }
 
@@ -571,6 +579,7 @@ eraseDomain(Map &map, const void *domain)
 void
 Checker::mshrAlloc(const void *domain, std::uint64_t id, Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = mshrLive_.emplace(
         std::make_pair(domain, id), at);
     if (!inserted) {
@@ -582,6 +591,7 @@ Checker::mshrAlloc(const void *domain, std::uint64_t id, Tick at)
 void
 Checker::mshrRelease(const void *domain, std::uint64_t id, Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (mshrLive_.erase({domain, id}) == 0) {
         violate(Rule::MshrLeak, at, "mshr " + std::to_string(id),
                 "release of an MSHR id that was never allocated");
@@ -591,6 +601,7 @@ Checker::mshrRelease(const void *domain, std::uint64_t id, Tick at)
 void
 Checker::mshrDomainDestroyed(const void *domain)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     eraseDomain(mshrLive_, domain);
 }
 
@@ -601,6 +612,7 @@ Checker::mshrDomainDestroyed(const void *domain)
 void
 Checker::cwfFillIssued(const void *domain, std::uint64_t id, Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] =
         cwfLive_.emplace(std::make_pair(domain, id), FillState{});
     if (!inserted) {
@@ -616,6 +628,7 @@ void
 Checker::cwfFragment(const void *domain, std::uint64_t id, bool fast,
                      Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cwfLive_.find({domain, id});
     if (it == cwfLive_.end()) {
         violate(Rule::CwfFragment, at, "fill " + std::to_string(id),
@@ -637,6 +650,7 @@ Checker::cwfFragment(const void *domain, std::uint64_t id, bool fast,
 void
 Checker::cwfSecded(const void *domain, std::uint64_t id, Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cwfLive_.find({domain, id});
     if (it == cwfLive_.end()) {
         violate(Rule::CwfSecded, at, "fill " + std::to_string(id),
@@ -650,6 +664,7 @@ void
 Checker::cwfComplete(const void *domain, std::uint64_t id, Tick fast_tick,
                      Tick slow_tick, Tick done_tick)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = cwfLive_.find({domain, id});
     if (it == cwfLive_.end()) {
         violate(Rule::CwfFragment, done_tick,
@@ -681,6 +696,7 @@ Checker::cwfComplete(const void *domain, std::uint64_t id, Tick fast_tick,
 void
 Checker::cwfDomainDestroyed(const void *domain)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     eraseDomain(cwfLive_, domain);
     eraseDomain(hmcCritical_, domain);
 }
@@ -693,6 +709,7 @@ void
 Checker::earlyWake(std::uint64_t id, Tick at, bool fast_arrived,
                    Tick fast_tick, bool parity_ok)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const std::string where = "mshr " + std::to_string(id);
     if (!fast_arrived) {
         violate(Rule::EarlyWake, at, where,
@@ -715,6 +732,7 @@ void
 Checker::lineComplete(std::uint64_t id, Tick at, bool has_fast,
                       bool fast_arrived, Tick fast_tick)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (!has_fast)
         return;
     const std::string where = "mshr " + std::to_string(id);
@@ -739,6 +757,7 @@ void
 Checker::hmcDelivery(const void *domain, std::uint64_t id, bool critical,
                      Tick at)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const std::string where = "hmc fill " + std::to_string(id);
     if (critical) {
         const auto [it, inserted] =
@@ -768,6 +787,7 @@ Checker::hmcDelivery(const void *domain, std::uint64_t id, bool critical,
 void
 Checker::finalizeAll()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[key, tick] : mshrLive_) {
         violate(Rule::MshrLeak, tick, "mshr " + std::to_string(key.second),
                 "MSHR allocated at tick " + std::to_string(tick) +

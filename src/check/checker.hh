@@ -38,8 +38,10 @@
 #ifndef HETSIM_CHECK_CHECKER_HH
 #define HETSIM_CHECK_CHECKER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,8 +100,10 @@ enum class Mode : std::uint8_t {
 
 namespace detail
 {
-/** Hot-path gate; read by the inline hook wrappers below. */
-extern bool g_checkEnabled;
+/** Hot-path gate; read by the inline hook wrappers below.  Atomic so
+ *  parallel sweep workers can race the gate benignly (relaxed loads —
+ *  callers must not enable/disable while simulations are running). */
+extern std::atomic<bool> g_checkEnabled;
 } // namespace detail
 
 class Checker
@@ -120,7 +124,8 @@ class Checker
     void disable();
 
     /** All violations recorded since enable() (Collect mode; Abort mode
-     *  panics before a second one can accumulate). */
+     *  panics before a second one can accumulate).  Returns a reference
+     *  into checker state: inspect only after concurrent runs finish. */
     const std::vector<Violation> &violations() const { return violations_; }
 
     /** Violations recorded for @p rule. */
@@ -244,6 +249,11 @@ class Checker
     void checkPrechargeRecovery(const BankState &bs,
                                 const std::string &where,
                                 const dram::DeviceParams &p, Tick at);
+
+    /** Serialises every public entry point: checker state is process
+     *  global (keyed by component address), while the parallel sweep
+     *  engine runs Systems on several threads at once. */
+    mutable std::mutex mutex_;
 
     Mode mode_ = Mode::Abort;
     std::vector<Violation> violations_;

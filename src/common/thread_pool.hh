@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for the experiment sweep engine.
+ *
+ * Tasks are plain std::function<void()> thunks; submit() returns a
+ * future the caller joins on.  The pool is deliberately dumb — no work
+ * stealing, no priorities — because sweep runs are coarse (millions of
+ * ticks each) and determinism comes from the *caller* committing
+ * results in submission order, not from any property of the pool.
+ */
+
+#ifndef HETSIM_COMMON_THREAD_POOL_HH
+#define HETSIM_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetsim
+{
+
+class ThreadPool
+{
+  public:
+    /** @param jobs worker count; 0 means jobsFromEnv(). */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; the future resolves (or rethrows) on completion. */
+    std::future<void> submit(std::function<void()> fn);
+
+    unsigned jobs() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** HETSIM_JOBS from the environment, defaulting to the hardware
+     *  concurrency (and never less than 1). */
+    static unsigned jobsFromEnv();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_THREAD_POOL_HH

@@ -11,7 +11,7 @@ namespace hetsim::trace
 namespace detail
 {
 
-bool g_traceEnabled = false;
+std::atomic<bool> g_traceEnabled{false};
 
 void
 emit(Event event, Tick tick, std::uint64_t req_id, Addr line_addr,

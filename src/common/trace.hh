@@ -24,6 +24,7 @@
 #ifndef HETSIM_COMMON_TRACE_HH
 #define HETSIM_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -67,8 +68,10 @@ enum class Format : std::uint8_t { Jsonl, Csv };
 
 namespace detail
 {
-/** Hot-path gate; read by the HETSIM_TRACE_EVENT macro. */
-extern bool g_traceEnabled;
+/** Hot-path gate; read by the HETSIM_TRACE_EVENT macro.  Atomic so
+ *  parallel sweep workers can read it race-free (tracing itself stays
+ *  single-run: enable/disable only while no simulations execute). */
+extern std::atomic<bool> g_traceEnabled;
 
 /** Cold out-of-line slow path: builds the Record and hands it to the
  *  Tracer.  Kept out of the header — and marked cold/noexcept — so the

@@ -1,5 +1,7 @@
 #include "core/agg_channel.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hetsim::cwf
@@ -35,6 +37,24 @@ AggregatedFastChannel::tick(Tick now)
     for (unsigned i = 0; i < n; ++i)
         subs_[(rotate_ + i) % n]->tick(now);
     rotate_ = (rotate_ + 1) % n;
+}
+
+Tick
+AggregatedFastChannel::nextEventTick(Tick now) const
+{
+    Tick next = kTickNever;
+    for (const auto &sub : subs_)
+        next = std::min(next, sub->nextEventTick(now));
+    return next;
+}
+
+void
+AggregatedFastChannel::fastForward(Tick from, Tick to)
+{
+    rotate_ = static_cast<unsigned>(
+        (rotate_ + (to - from)) % subChannels());
+    for (auto &sub : subs_)
+        sub->fastForward(to);
 }
 
 bool

@@ -55,6 +55,14 @@ class AggregatedFastChannel
      *  memory cycle so shared-bus grants stay fair. */
     void tick(Tick now);
 
+    /** Earliest tick >= now any sub-channel can change state. */
+    Tick nextEventTick(Tick now) const;
+
+    /** Skip the global ticks [from, to): forward every sub-channel and
+     *  keep the fairness rotation exactly where per-tick stepping would
+     *  have left it (tick() rotates once per global tick). */
+    void fastForward(Tick from, Tick to);
+
     bool idle() const;
     void resetStats(Tick now);
 

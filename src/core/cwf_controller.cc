@@ -240,6 +240,25 @@ CwfHeteroMemory::tick(Tick now)
     fast_.tick(now);
 }
 
+Tick
+CwfHeteroMemory::nextEventTick(Tick now) const
+{
+    Tick next = fast_.nextEventTick(now);
+    for (const auto &chan : slow_)
+        next = std::min(next, chan->nextEventTick(now));
+    // pending_ is purely callback-driven: a fill completes only when a
+    // channel delivers a fragment, so the channels bound every event.
+    return next;
+}
+
+void
+CwfHeteroMemory::fastForward(Tick from, Tick to)
+{
+    for (auto &chan : slow_)
+        chan->fastForward(to);
+    fast_.fastForward(from, to);
+}
+
 bool
 CwfHeteroMemory::idle() const
 {

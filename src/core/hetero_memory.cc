@@ -139,6 +139,22 @@ HomogeneousMemory::tick(Tick now)
         chan->tick(now);
 }
 
+Tick
+HomogeneousMemory::nextEventTick(Tick now) const
+{
+    Tick next = kTickNever;
+    for (const auto &chan : channels_)
+        next = std::min(next, chan->nextEventTick(now));
+    return next;
+}
+
+void
+HomogeneousMemory::fastForward(Tick, Tick to)
+{
+    for (auto &chan : channels_)
+        chan->fastForward(to);
+}
+
 bool
 HomogeneousMemory::idle() const
 {
@@ -331,6 +347,23 @@ PagePlacementMemory::tick(Tick now)
     for (auto &chan : slow_)
         chan->tick(now);
     fastChannel_->tick(now);
+}
+
+Tick
+PagePlacementMemory::nextEventTick(Tick now) const
+{
+    Tick next = fastChannel_->nextEventTick(now);
+    for (const auto &chan : slow_)
+        next = std::min(next, chan->nextEventTick(now));
+    return next;
+}
+
+void
+PagePlacementMemory::fastForward(Tick, Tick to)
+{
+    for (auto &chan : slow_)
+        chan->fastForward(to);
+    fastChannel_->fastForward(to);
 }
 
 bool

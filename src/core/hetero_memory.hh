@@ -74,6 +74,8 @@ class HomogeneousMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    Tick nextEventTick(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
     bool idle() const override;
     void resetStats(Tick now) override;
     double dramPowerMw(Tick now) const override;
@@ -135,6 +137,8 @@ class CwfHeteroMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    Tick nextEventTick(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
     bool idle() const override;
     void resetStats(Tick now) override;
     double dramPowerMw(Tick now) const override;
@@ -216,6 +220,8 @@ class PagePlacementMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    Tick nextEventTick(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
     bool idle() const override;
     void resetStats(Tick now) override;
     double dramPowerMw(Tick now) const override;

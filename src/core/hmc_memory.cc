@@ -169,6 +169,26 @@ HmcLikeMemory::tick(Tick now)
     }
 }
 
+Tick
+HmcLikeMemory::nextEventTick(Tick now) const
+{
+    Tick next = kTickNever;
+    for (const auto &vault : vaults_)
+        next = std::min(next, vault->nextEventTick(now));
+    // Packet deliveries drain at any global tick, not on a cycle grid:
+    // the earliest pending delivery is an exact event.
+    if (!deliveries_.empty())
+        next = std::min(next, std::max(now, deliveries_.top().at));
+    return next;
+}
+
+void
+HmcLikeMemory::fastForward(Tick, Tick to)
+{
+    for (auto &vault : vaults_)
+        vault->fastForward(to);
+}
+
 bool
 HmcLikeMemory::idle() const
 {

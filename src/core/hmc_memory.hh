@@ -105,6 +105,8 @@ class HmcLikeMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    Tick nextEventTick(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
     bool idle() const override;
     void resetStats(Tick now) override;
     double dramPowerMw(Tick now) const override;

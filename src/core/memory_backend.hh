@@ -77,6 +77,27 @@ class MemoryBackend
     /** Advance all channels to @p now. */
     virtual void tick(Tick now) = 0;
 
+    /**
+     * Earliest tick >= now at which tick() may change any state or
+     * deliver any callback, given the state left by the last tick().
+     * The estimate must never be late (skipping every tick strictly
+     * before it must be behaviour-preserving); returning @p now simply
+     * disables skipping.  The default is that conservative answer so
+     * simple test backends stay correct without opting in.
+     */
+    virtual Tick nextEventTick(Tick now) const { return now; }
+
+    /**
+     * Integrate the skipped global ticks [from, to) into any per-tick
+     * accounting (residency buckets, rotation counters).  Called only
+     * when to <= nextEventTick() across the whole system.
+     */
+    virtual void fastForward(Tick from, Tick to)
+    {
+        (void)from;
+        (void)to;
+    }
+
     /** True when no request is queued or in flight anywhere. */
     virtual bool idle() const = 0;
 

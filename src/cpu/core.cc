@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hetsim::cpu
@@ -102,6 +104,52 @@ Core::tick(Tick now)
     }
 
     robOccupancySum_ += count_;
+}
+
+Tick
+Core::nextEventTick(Tick now) const
+{
+    Tick next = kTickNever;
+
+    // Retire side: a ready head bounds the skip; an unready head retires
+    // only after a wake, which is a backend event.
+    if (count_ > 0) {
+        const RobEntry &head = rob_[head_];
+        if (head.ready) {
+            next = std::max(now, head.readyAt);
+            if (next == now)
+                return now;
+        }
+    }
+
+    // Dispatch side.
+    if (!robFull()) {
+        if (pendingOp_ && pendingOp_->isMem && pendingOp_->dependsOnPrev &&
+            lastLoadPending(now)) {
+            // Pointer-chase stall: dispatch resumes when the blocking
+            // load's data lands — at its known readyAt, or via a wake
+            // (again a backend event).
+            const RobEntry &e = rob_[static_cast<unsigned>(lastLoadSlot_)];
+            if (e.ready)
+                next = std::min(next, std::max(now, e.readyAt));
+        } else {
+            // Fetching fresh work, or retrying a hierarchy-blocked
+            // access whose admission can change with any backend state:
+            // something can happen every tick.
+            return now;
+        }
+    }
+    return next;
+}
+
+void
+Core::fastForward(Tick from, Tick to)
+{
+    // Both stall shapes (ROB full, dependence wait) charge exactly one
+    // dispatch stall per tick and leave count_ unchanged.
+    const std::uint64_t n = to - from;
+    dispatchStalls_ += n;
+    robOccupancySum_ += static_cast<std::uint64_t>(count_) * n;
 }
 
 void

@@ -50,6 +50,24 @@ class Core
     /** Advance one CPU cycle. */
     void tick(Tick now);
 
+    /**
+     * Earliest tick >= now at which tick() can retire or dispatch
+     * anything, given the ROB state left by the last tick().  Returns
+     * @p now whenever the core could make progress (fetching new work,
+     * retrying a hierarchy-blocked access), a wake-independent ready
+     * time when it is purely waiting, and kTickNever when only a load
+     * wake (a backend event) can unblock it.
+     */
+    Tick nextEventTick(Tick now) const;
+
+    /**
+     * Account the skipped ticks [from, to).  Only legal when the core is
+     * fully stalled across the interval (nextEventTick() >= to): each
+     * skipped tick charges one dispatch stall and samples the unchanged
+     * ROB occupancy, exactly as per-tick stepping would.
+     */
+    void fastForward(Tick from, Tick to);
+
     /** Deliver data to a parked load (called via Hierarchy's WakeFn). */
     void wake(std::uint16_t slot, Tick now);
 

@@ -134,6 +134,75 @@ Channel::tick(Tick now)
         rank.accountCycle(now, cycleTicks_);
 }
 
+Tick
+Channel::alignToGrid(Tick t) const
+{
+    // First tick of the self-sustaining cycle grid {nextCycle_ + k*c}
+    // at or after t; past candidates land on the next acted cycle.
+    if (t <= nextCycle_)
+        return nextCycle_;
+    const Tick k = (t - nextCycle_ + cycleTicks_ - 1) / cycleTicks_;
+    return nextCycle_ + k * cycleTicks_;
+}
+
+Tick
+Channel::nextEventTick(Tick now) const
+{
+    // Queued work (or a drain flag left to settle) means the scheduler
+    // must re-evaluate every memory cycle: bank/rank/bus legality can
+    // change at cycle granularity.
+    if (!readQ_.empty() || !writeQ_.empty() || draining_)
+        return nextCycle_;
+
+    Tick next = kTickNever;
+    if (!inflight_.empty())
+        next = std::min(next, alignToGrid(inflight_.top()->complete));
+
+    if (params_.tREFI != 0) {
+        for (const auto &rank : ranks_) {
+            if (rank.refreshing(now)) {
+                // tRFC expiry flips the residency bucket and re-arms
+                // the rank for commands.
+                next = std::min(next, alignToGrid(rank.refreshingUntil));
+            }
+            // The due refresh (or the wake it forces on a powered-down
+            // rank) fires at this cycle at the earliest; a tXP- or
+            // tRAS-delayed refresh re-polls cycle-by-cycle because the
+            // overdue candidate clamps to nextCycle_.
+            next = std::min(next, alignToGrid(rank.nextRefreshDue));
+        }
+    }
+
+    if (params_.idd.hasPowerDown && params_.powerDownIdle != 0) {
+        const Tick idle_ticks =
+            static_cast<Tick>(params_.powerDownIdle) * cycleTicks_;
+        for (unsigned r = 0; r < ranks_.size(); ++r) {
+            const Rank &rank = ranks_[r];
+            if (rank.poweredDown() || rank.refreshing(now) ||
+                pendingPerRank_[r] != 0) {
+                continue;
+            }
+            next = std::min(next, alignToGrid(rank.lastCommand + idle_ticks));
+        }
+    }
+    (void)now;
+    return next;
+}
+
+void
+Channel::fastForward(Tick to)
+{
+    if (to <= nextCycle_)
+        return;
+    // The skipped acted cycles [nextCycle_, to) provably issue nothing
+    // and flip no state (fast-forward contract), so each rank sits in
+    // one residency bucket for the whole stretch.
+    const std::uint64_t cycles = (to - 1 - nextCycle_) / cycleTicks_ + 1;
+    for (auto &rank : ranks_)
+        rank.accountIdleCycles(nextCycle_, cycleTicks_, cycles);
+    nextCycle_ += cycles * cycleTicks_;
+}
+
 void
 Channel::completeReads(Tick now)
 {

@@ -118,6 +118,23 @@ class Channel
     /** Advance to @p now; acts only on memory-cycle boundaries. */
     void tick(Tick now);
 
+    /**
+     * Earliest tick >= now at which tick() may change any state (issue,
+     * complete, refresh, power-down, residency-bucket flip), given the
+     * state left by the last tick().  Never an over-estimate: callers may
+     * skip every tick strictly before the returned value.  kTickNever
+     * when the channel is fully quiescent.
+     */
+    Tick nextEventTick(Tick now) const;
+
+    /**
+     * Integrate the pure-idle memory cycles in [nextCycle_, to) into the
+     * per-rank residency buckets and move the cycle grid past them.
+     * Only legal when to <= nextEventTick() of every component (the
+     * skipped cycles provably issue no command and flip no state).
+     */
+    void fastForward(Tick to);
+
     const DeviceParams &params() const { return params_; }
     const std::string &name() const { return name_; }
     unsigned rankCount() const { return static_cast<unsigned>(ranks_.size()); }
@@ -199,6 +216,7 @@ class Channel
     bool tryPrep(MemRequest &req, Tick now);
 
     // Implemented in channel.cc.
+    Tick alignToGrid(Tick t) const;
     void completeReads(Tick now);
     void manageRefresh(Tick now);
     void managePowerDown(Tick now);

@@ -112,6 +112,21 @@ Rank::accountCycle(Tick now, Tick cycle_ticks)
         activity_.preStbyTicks += cycle_ticks;
 }
 
+void
+Rank::accountIdleCycles(Tick at, Tick cycle_ticks, std::uint64_t cycles)
+{
+    const Tick total = cycle_ticks * cycles;
+    activity_.windowTicks += total;
+    if (refreshing(at))
+        activity_.refreshTicks += total;
+    else if (poweredDown_)
+        activity_.pdnTicks += total;
+    else if (anyBankOpen())
+        activity_.actStbyTicks += total;
+    else
+        activity_.preStbyTicks += total;
+}
+
 RankActivity
 Rank::collectActivity(bool reset)
 {

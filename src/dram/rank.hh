@@ -89,6 +89,12 @@ class Rank
     /** Account one memory cycle ending at @p now into the state buckets. */
     void accountCycle(Tick now, Tick cycle_ticks);
 
+    /** Account @p cycles skipped memory cycles starting at @p at in
+     *  closed form.  Only legal when the rank's power/refresh/bank state
+     *  is constant across the whole interval (the fast-forward contract:
+     *  every state flip is a next-event boundary). */
+    void accountIdleCycles(Tick at, Tick cycle_ticks, std::uint64_t cycles);
+
     /** Harvest (and optionally clear) the activity window. */
     RankActivity collectActivity(bool reset);
 

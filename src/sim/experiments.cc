@@ -1,51 +1,91 @@
 #include "sim/experiments.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 #include "sim/report.hh"
 #include "workloads/suite.hh"
 
 namespace hetsim::sim
 {
 
-namespace
-{
-
-/** Make a memoisation key usable as a filename. */
 std::string
-sanitizeForFilename(const std::string &key)
+sanitizedRunKey(const std::string &key)
 {
+    std::uint64_t hash = 1469598103934665603ULL; // FNV-1a 64 offset basis
+    for (char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL; // FNV-1a 64 prime
+    }
     std::string out;
-    out.reserve(key.size());
+    out.reserve(key.size() + 9);
     for (char c : key) {
         const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                         (c >= '0' && c <= '9') || c == '-' || c == '.';
         out.push_back(ok ? c : '_');
     }
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "-%08x",
+                  static_cast<unsigned>(hash & 0xffffffffu));
+    out += suffix;
     return out;
 }
 
-/** When HETSIM_JSON_DIR is set, dump the run's JSON report there. */
-void
-maybeExportJson(System &system, const RunResult &result,
-                const std::string &key)
+namespace
+{
+
+/** JSON export directory (HETSIM_JSON_DIR), or nullptr when disabled. */
+const char *
+jsonExportDir()
 {
     const char *dir = std::getenv("HETSIM_JSON_DIR");
-    if (!dir || !*dir)
+    return (dir && *dir) ? dir : nullptr;
+}
+
+void
+writeJsonExport(const std::string &json, const std::string &key)
+{
+    const char *dir = jsonExportDir();
+    if (!dir)
         return;
     const std::string path =
-        std::string(dir) + "/" + sanitizeForFilename(key) + ".json";
+        std::string(dir) + "/" + sanitizedRunKey(key) + ".json";
     std::ofstream out(path);
     if (!out) {
         warn("json export: cannot write '", path,
              "'; does HETSIM_JSON_DIR exist?");
         return;
     }
-    out << renderReportJson(system, result) << "\n";
+    out << json << "\n";
+}
+
+/** The simulation itself plus everything that must read the System
+ *  while it is alive.  Runs on pool workers: all mutable state lives in
+ *  the local System. */
+struct RunOutcome
+{
+    RunResult result;
+    std::string json; // rendered report, empty when export is off
+};
+
+RunOutcome
+runOne(const ExperimentScale &scale, const RunSpec &spec,
+       unsigned active_cores, bool want_json)
+{
+    const auto &profile = workloads::suite::byName(spec.bench);
+    System system(spec.params, profile, active_cores);
+    const RunConfig rc = scale.runConfig(active_cores, spec.params.cores);
+    RunOutcome out;
+    out.result = runSimulation(system, rc);
+    if (want_json)
+        out.json = renderReportJson(system, out.result);
+    return out;
 }
 
 } // namespace
@@ -95,7 +135,9 @@ ExperimentScale::runConfig(unsigned active_cores,
     return rc;
 }
 
-ExperimentRunner::ExperimentRunner() : scale_(ExperimentScale::fromEnv())
+ExperimentRunner::ExperimentRunner(unsigned jobs)
+    : scale_(ExperimentScale::fromEnv()),
+      jobs_(jobs ? jobs : ThreadPool::jobsFromEnv())
 {
     if (const char *env = std::getenv("HETSIM_WORKLOADS")) {
         std::stringstream ss(env);
@@ -120,23 +162,122 @@ ExperimentRunner::paramsFor(MemConfig mem, bool prefetcher)
     return p;
 }
 
-const RunResult &
-ExperimentRunner::getOrRun(const SystemParams &params,
-                           const std::string &bench, unsigned active_cores)
+std::string
+ExperimentRunner::keyFor(const SystemParams &params,
+                         const std::string &bench,
+                         unsigned active_cores) const
 {
     std::ostringstream key;
     key << params.cacheKey() << "|" << bench << "|a" << active_cores << "|r"
         << scale_.measureReads;
-    const auto it = cache_.find(key.str());
-    if (it != cache_.end())
-        return it->second;
+    return key.str();
+}
 
-    const auto &profile = workloads::suite::byName(bench);
-    System system(params, profile, active_cores);
-    const RunConfig rc = scale_.runConfig(active_cores, params.cores);
-    RunResult result = runSimulation(system, rc);
-    maybeExportJson(system, result, key.str());
-    return cache_.emplace(key.str(), std::move(result)).first->second;
+void
+ExperimentRunner::prefetch(const std::vector<RunSpec> &specs)
+{
+    // Enumerate the missing runs, deduplicating both against the memo
+    // cache and among the requested specs.
+    struct Pending
+    {
+        RunSpec spec;
+        unsigned activeCores;
+        std::string key;
+        std::future<void> done;
+        RunOutcome outcome;
+    };
+    std::vector<Pending> todo;
+    {
+        std::unordered_set<std::string> seen;
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        for (const auto &spec : specs) {
+            const unsigned active =
+                spec.activeCores ? spec.activeCores : spec.params.cores;
+            std::string key = keyFor(spec.params, spec.bench, active);
+            if (cache_.count(key) || !seen.insert(key).second)
+                continue;
+            Pending p;
+            p.spec = spec;
+            p.activeCores = active;
+            p.key = std::move(key);
+            todo.push_back(std::move(p));
+        }
+    }
+    if (todo.empty())
+        return;
+
+    const bool want_json = jsonExportDir() != nullptr;
+    {
+        ThreadPool pool(jobs_);
+        for (auto &p : todo) {
+            Pending *slot = &p;
+            p.done = pool.submit([this, slot, want_json] {
+                slot->outcome = runOne(scale_, slot->spec,
+                                       slot->activeCores, want_json);
+            });
+        }
+        // Join in submission order; a worker exception surfaces here on
+        // the corresponding future rather than killing the process.
+        for (auto &p : todo)
+            p.done.get();
+    }
+
+    // Commit results — memo entries and JSON exports — in submission
+    // order, so a parallel sweep is observationally identical to a
+    // serial one regardless of worker interleaving.
+    for (auto &p : todo) {
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            cache_.emplace(p.key, std::move(p.outcome.result));
+        }
+        if (want_json)
+            writeJsonExport(p.outcome.json, p.key);
+    }
+}
+
+void
+ExperimentRunner::prefetchThroughput(
+    const std::vector<SystemParams> &configs, const SystemParams &baseline)
+{
+    std::vector<RunSpec> specs;
+    for (const auto &wl : workloads_) {
+        specs.push_back(RunSpec{baseline, wl, 1}); // IPC_alone weights
+        specs.push_back(RunSpec{baseline, wl, 0});
+        for (const auto &cfg : configs)
+            specs.push_back(RunSpec{cfg, wl, 0});
+    }
+    prefetch(specs);
+}
+
+void
+ExperimentRunner::prefetchShared(const std::vector<SystemParams> &configs)
+{
+    std::vector<RunSpec> specs;
+    for (const auto &wl : workloads_)
+        for (const auto &cfg : configs)
+            specs.push_back(RunSpec{cfg, wl, 0});
+    prefetch(specs);
+}
+
+const RunResult &
+ExperimentRunner::getOrRun(const SystemParams &params,
+                           const std::string &bench, unsigned active_cores)
+{
+    const std::string key = keyFor(params, bench, active_cores);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
+
+    RunOutcome out =
+        runOne(scale_, RunSpec{params, bench, active_cores}, active_cores,
+               jsonExportDir() != nullptr);
+    if (!out.json.empty())
+        writeJsonExport(out.json, key);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return cache_.emplace(key, std::move(out.result)).first->second;
 }
 
 const RunResult &

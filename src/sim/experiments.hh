@@ -5,12 +5,21 @@
  * (configuration, workload) pairs, memoises results — including the
  * single-core IPC_alone runs the weighted-throughput metric needs — and
  * computes paper-style normalised numbers.
+ *
+ * Independent runs can execute concurrently on a thread pool
+ * (HETSIM_JOBS workers): callers enumerate the sweep up front with
+ * prefetch() / prefetchThroughput(), then the usual accessors are cache
+ * hits.  Every run's mutable state (RNG, stats, checker interactions)
+ * is confined to its own System, and results are committed to the memo
+ * cache — and JSON exports written — strictly in submission order, so a
+ * parallel sweep is bit-identical to a serial one.
  */
 
 #ifndef HETSIM_SIM_EXPERIMENTS_HH
 #define HETSIM_SIM_EXPERIMENTS_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -37,19 +46,57 @@ struct ExperimentScale
     RunConfig runConfig(unsigned active_cores, unsigned total_cores) const;
 };
 
+/**
+ * Filesystem-safe name for a memoisation key: illegal bytes become '_'
+ * and a short hash of the *raw* key is appended, so keys that differ
+ * only in flattened punctuation still map to distinct filenames.
+ */
+std::string sanitizedRunKey(const std::string &key);
+
+/** One simulation in a sweep: configuration, workload, core count. */
+struct RunSpec
+{
+    SystemParams params;
+    std::string bench;
+    /** Cores running the workload; 0 means params.cores (shared run). */
+    unsigned activeCores = 0;
+};
+
 class ExperimentRunner
 {
   public:
-    /** Reads HETSIM_READS / HETSIM_WORKLOADS from the environment. */
-    ExperimentRunner();
+    /**
+     * @param jobs worker threads for prefetch(); 0 reads HETSIM_JOBS
+     *        from the environment (default: hardware concurrency).
+     */
+    explicit ExperimentRunner(unsigned jobs = 0);
 
     const ExperimentScale &scale() const { return scale_; }
+
+    unsigned jobs() const { return jobs_; }
 
     /** Benchmarks to sweep (env subset or the full suite). */
     const std::vector<std::string> &workloads() const { return workloads_; }
 
     /** Convenience constructor for a config's SystemParams. */
     static SystemParams paramsFor(MemConfig mem, bool prefetcher = true);
+
+    /**
+     * Run every not-yet-memoised spec on the thread pool and commit the
+     * results.  Duplicate specs (and specs already cached) run once.
+     * Afterwards sharedRun()/aloneRun() for those specs are cache hits.
+     */
+    void prefetch(const std::vector<RunSpec> &specs);
+
+    /** Enumerate and prefetch everything normalizedThroughput() needs
+     *  for @p configs vs @p baseline across all workloads(): the
+     *  baseline alone run plus shared runs of baseline and configs. */
+    void prefetchThroughput(const std::vector<SystemParams> &configs,
+                            const SystemParams &baseline);
+
+    /** Enumerate and prefetch shared runs of @p configs across all
+     *  workloads(). */
+    void prefetchShared(const std::vector<SystemParams> &configs);
 
     /** 8-core shared run (memoised). */
     const RunResult &sharedRun(const SystemParams &params,
@@ -85,13 +132,21 @@ class ExperimentRunner
                                                  kPageShift);
 
   private:
+    /** Memo key for one (config, workload, core-count) run. */
+    std::string keyFor(const SystemParams &params, const std::string &bench,
+                       unsigned active_cores) const;
+
     const RunResult &getOrRun(const SystemParams &params,
                               const std::string &bench,
                               unsigned active_cores);
 
     ExperimentScale scale_;
+    unsigned jobs_;
     std::vector<std::string> workloads_;
+    /** Memoised results; node-stable, so returned references survive
+     *  later inserts.  Guarded by cacheMutex_. */
     std::map<std::string, RunResult> cache_;
+    std::mutex cacheMutex_;
 };
 
 } // namespace hetsim::sim

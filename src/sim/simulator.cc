@@ -18,6 +18,12 @@ runUntil(System &system, std::uint64_t target_reads, Tick max_ticks)
     while (stats.demandCompletions.value() - start < target_reads &&
            system.now() < deadline) {
         system.tick();
+        // Skip idle ticks only while the run continues: the final tick
+        // must leave now() exactly one past the completing tick, as
+        // unit stepping does.  (Skipped ticks cannot complete reads, so
+        // the exit condition is unaffected by the jump itself.)
+        if (stats.demandCompletions.value() - start < target_reads)
+            system.skipAhead(deadline);
     }
 }
 
@@ -48,6 +54,8 @@ runSimulation(System &system, const RunConfig &config)
                     done, system.now(), system.aggregateIpc()});
                 next_sample += config.statsWindowEvery;
             }
+            if (done < config.measureReads)
+                system.skipAhead(deadline);
         }
     }
     const Tick now = system.now();

@@ -1,5 +1,9 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/log.hh"
 
 namespace hetsim::sim
@@ -46,6 +50,9 @@ System::System(const SystemParams &params,
         core->registerStats(statRegistry_);
     hierarchy_->registerStats(statRegistry_);
     backend_->registerStats(statRegistry_);
+
+    if (const char *env = std::getenv("HETSIM_FASTFWD"))
+        fastForward_ = std::strcmp(env, "0") != 0;
 }
 
 void
@@ -56,6 +63,33 @@ System::tick()
     hierarchy_->tick(now_);
     backend_->tick(now_);
     now_ += 1;
+    tickCalls_ += 1;
+}
+
+void
+System::skipAhead(Tick limit)
+{
+    if (!fastForward_)
+        return;
+    Tick next = hierarchy_->nextEventTick(now_);
+    if (next <= now_)
+        return;
+    for (const auto &core : cores_) {
+        next = std::min(next, core->nextEventTick(now_));
+        if (next <= now_)
+            return;
+    }
+    next = std::min(next, backend_->nextEventTick(now_));
+    next = std::min(next, limit);
+    if (next <= now_ || next == kTickNever)
+        return;
+    // Every component is provably quiescent over [now_, next): integrate
+    // the interval into the per-tick accumulators and jump.
+    for (auto &core : cores_)
+        core->fastForward(now_, next);
+    backend_->fastForward(now_, next);
+    skippedTicks_ += next - now_;
+    now_ = next;
 }
 
 void

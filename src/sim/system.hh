@@ -35,7 +35,38 @@ class System
     /** Advance one CPU cycle. */
     void tick();
 
+    /**
+     * Jump now_ forward to the earliest tick any component can change
+     * state (never past @p limit).  The skipped ticks are provably
+     * pure-stall: their per-tick accounting (dispatch stalls, ROB
+     * occupancy, rank residency) is integrated in closed form, so the
+     * result is bit-identical to stepping them one by one.  No-op when
+     * fast-forward is disabled or something can happen next tick.
+     */
+    void skipAhead(Tick limit);
+
+    /** One tick() then skipAhead(): the event-driven replacement for a
+     *  bare tick() loop when no per-tick exit condition intervenes. */
+    void
+    advance(Tick limit = kTickNever)
+    {
+        tick();
+        skipAhead(limit);
+    }
+
+    /** Idle-cycle fast-forward toggle (default from HETSIM_FASTFWD;
+     *  off = per-tick stepping, for A/B measurement and testing). */
+    void setFastForward(bool on) { fastForward_ = on; }
+    bool fastForwardEnabled() const { return fastForward_; }
+
     Tick now() const { return now_; }
+
+    /** Ticks executed by tick() since construction. */
+    std::uint64_t tickCalls() const { return tickCalls_; }
+
+    /** Ticks jumped over by skipAhead() since construction; together
+     *  with tickCalls() this accounts for every tick of now(). */
+    std::uint64_t skippedTicks() const { return skippedTicks_; }
 
     unsigned activeCores() const { return activeCores_; }
     cpu::Core &core(unsigned i) { return *cores_.at(i); }
@@ -73,6 +104,9 @@ class System
 
     Tick now_ = 0;
     Tick windowStart_ = 0;
+    bool fastForward_ = true;
+    std::uint64_t tickCalls_ = 0;
+    std::uint64_t skippedTicks_ = 0;
 };
 
 } // namespace hetsim::sim

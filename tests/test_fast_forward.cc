@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Exactness property of the idle-cycle fast-forward: for randomized
+ * traffic on every backend family, a run with skipAhead() enabled must
+ * be *bit-identical* — same final tick, same full stat report — to the
+ * same run stepped one tick at a time, with the protocol validator
+ * armed throughout.  This is the contract that lets the golden digests
+ * stay byte-stable while the simulator jumps over quiescent intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <tuple>
+
+#include "check/checker.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+using check::Checker;
+using check::Mode;
+
+namespace
+{
+
+class FastForwardProperty
+    : public ::testing::TestWithParam<
+          std::tuple<MemConfig, const char *, std::uint64_t>>
+{
+};
+
+TEST_P(FastForwardProperty, SkipAheadIsBitIdenticalToPerTickStepping)
+{
+    const auto [mem, bench, seed] = GetParam();
+
+    SystemParams p;
+    p.mem = mem;
+    p.seed = seed;
+    if (mem == MemConfig::PagePlacement) {
+        // Page placement needs a hot-page set; any deterministic one
+        // exercises the fast channel + slow fallback split.
+        for (std::uint64_t page = 0; page < 64; ++page)
+            p.hotPages.insert(page);
+    }
+    const auto &profile = workloads::suite::byName(bench);
+    RunConfig rc;
+    rc.measureReads = 600;
+    rc.warmupReads = 200;
+
+    auto &checker = Checker::instance();
+
+    auto runOnce = [&](bool fast_forward, Tick &end_tick,
+                       std::uint64_t &stepped, std::uint64_t &skipped) {
+        checker.enable(Mode::Collect);
+        System system(p, profile, p.cores);
+        system.setFastForward(fast_forward);
+        const RunResult r = runSimulation(system, rc);
+        EXPECT_GT(r.demandReads, 0u);
+        EXPECT_TRUE(checker.violations().empty()) << checker.report();
+        end_tick = system.now();
+        stepped = system.tickCalls();
+        skipped = system.skippedTicks();
+        const std::string report = renderReportJson(system, r);
+        checker.disable();
+        return report;
+    };
+
+    Tick serial_end = 0, ff_end = 0;
+    std::uint64_t serial_stepped = 0, serial_skipped = 0;
+    std::uint64_t ff_stepped = 0, ff_skipped = 0;
+    const std::string serial_report =
+        runOnce(false, serial_end, serial_stepped, serial_skipped);
+    const std::string ff_report =
+        runOnce(true, ff_end, ff_stepped, ff_skipped);
+
+    EXPECT_EQ(serial_skipped, 0u);
+    EXPECT_EQ(serial_stepped, static_cast<std::uint64_t>(serial_end));
+    EXPECT_EQ(ff_stepped + ff_skipped, static_cast<std::uint64_t>(ff_end));
+    EXPECT_EQ(serial_end, ff_end);
+    EXPECT_EQ(serial_report, ff_report);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendSweep, FastForwardProperty,
+    ::testing::Values(
+        std::make_tuple(MemConfig::BaselineDDR3, "milc", 0xfeedULL),
+        std::make_tuple(MemConfig::HomoLPDDR2, "astar", 29ULL),
+        std::make_tuple(MemConfig::CwfRL, "mcf", 0xbeefULL),
+        std::make_tuple(MemConfig::CwfRD, "xalancbmk", 13ULL),
+        std::make_tuple(MemConfig::CwfRLAdaptive, "leslie3d", 11ULL),
+        std::make_tuple(MemConfig::PagePlacement, "omnetpp", 23ULL),
+        std::make_tuple(MemConfig::HmcCdf, "libquantum", 17ULL),
+        // Low-MPKI workload: long quiescent stretches, so the skip path
+        // (not just the grid alignment) carries the run.
+        std::make_tuple(MemConfig::BaselineDDR3, "ep", 5ULL)),
+    [](const auto &info) {
+        std::string name = std::string(toString(std::get<0>(info.param))) +
+                           "_" + std::get<1>(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

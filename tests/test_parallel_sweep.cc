@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Determinism of the parallel sweep engine: running the six golden
+ * configurations through ExperimentRunner::prefetch() on four worker
+ * threads must produce RunResults — and exported JSON reports —
+ * bit-identical to a one-worker (serial-equivalent) runner.  Results
+ * are committed in submission order and every run's mutable state is
+ * confined to its own System, so worker interleaving must not be
+ * observable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/experiments.hh"
+#include "sim/golden.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::vector<RunSpec>
+goldenSweepSpecs()
+{
+    std::vector<RunSpec> specs;
+    for (const auto &g : goldenSpecs()) {
+        SystemParams p = ExperimentRunner::paramsFor(g.config);
+        p.seed = kGoldenSeed;
+        specs.push_back(RunSpec{p, kGoldenBenchmark, kGoldenCores});
+    }
+    // An alone run too, so the (config, workload, core-count) key space
+    // is exercised, not just shared runs.
+    SystemParams alone = ExperimentRunner::paramsFor(MemConfig::CwfRL);
+    alone.seed = kGoldenSeed;
+    specs.push_back(RunSpec{alone, kGoldenBenchmark, 1});
+    return specs;
+}
+
+/** Bit-exact equality of two results (doubles compared with ==). */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.aggIpc, b.aggIpc);
+    EXPECT_EQ(a.perCoreIpc, b.perCoreIpc);
+    EXPECT_EQ(a.windowTicks, b.windowTicks);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.demandReads, b.demandReads);
+    EXPECT_EQ(a.writebacks, b.writebacks);
+    EXPECT_EQ(a.dramPowerMw, b.dramPowerMw);
+    EXPECT_EQ(a.busUtilization, b.busUtilization);
+    EXPECT_EQ(a.latency.queueTicks, b.latency.queueTicks);
+    EXPECT_EQ(a.latency.serviceTicks, b.latency.serviceTicks);
+    EXPECT_EQ(a.latency.totalTicks, b.latency.totalTicks);
+    EXPECT_EQ(a.criticalWordLatencyTicks, b.criticalWordLatencyTicks);
+    EXPECT_EQ(a.servedByFastFraction, b.servedByFastFraction);
+    EXPECT_EQ(a.earlyWakeFraction, b.earlyWakeFraction);
+    EXPECT_EQ(a.fastLeadTicks, b.fastLeadTicks);
+    EXPECT_EQ(a.fastLeadP50, b.fastLeadP50);
+    EXPECT_EQ(a.fastLeadP95, b.fastLeadP95);
+    EXPECT_EQ(a.fastLeadP99, b.fastLeadP99);
+    EXPECT_EQ(a.missLatencyP50, b.missLatencyP50);
+    EXPECT_EQ(a.missLatencyP95, b.missLatencyP95);
+    EXPECT_EQ(a.missLatencyP99, b.missLatencyP99);
+    EXPECT_EQ(a.criticalWordDist, b.criticalWordDist);
+    EXPECT_EQ(a.secondAccessGapTicks, b.secondAccessGapTicks);
+    EXPECT_EQ(a.secondBeforeCompleteFraction,
+              b.secondBeforeCompleteFraction);
+    EXPECT_EQ(a.mshrFullStalls, b.mshrFullStalls);
+    EXPECT_EQ(a.rowHitRate, b.rowHitRate);
+}
+
+/** Filename -> contents for every .json in @p dir. */
+std::map<std::string, std::string>
+slurpDir(const fs::path &dir)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        std::ifstream in(entry.path());
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        out[entry.path().filename().string()] = ss.str();
+    }
+    return out;
+}
+
+class ParallelSweep : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // Small quanta so the sweep stays fast; both runners see the
+        // same scale.
+        setenv("HETSIM_READS", "600", 1);
+        setenv("HETSIM_WARMUP", "200", 1);
+    }
+    void TearDown() override
+    {
+        unsetenv("HETSIM_READS");
+        unsetenv("HETSIM_WARMUP");
+        unsetenv("HETSIM_JSON_DIR");
+    }
+};
+
+TEST_F(ParallelSweep, FourWorkersMatchOneWorkerBitExactly)
+{
+    const std::vector<RunSpec> specs = goldenSweepSpecs();
+
+    ExperimentRunner serial(1);
+    serial.prefetch(specs);
+
+    ExperimentRunner parallel(4);
+    EXPECT_EQ(parallel.jobs(), 4u);
+    parallel.prefetch(specs);
+
+    for (const auto &spec : specs) {
+        const bool alone = spec.activeCores == 1;
+        const RunResult &a =
+            alone ? serial.aloneRun(spec.params, spec.bench)
+                  : serial.sharedRun(spec.params, spec.bench);
+        const RunResult &b =
+            alone ? parallel.aloneRun(spec.params, spec.bench)
+                  : parallel.sharedRun(spec.params, spec.bench);
+        expectIdentical(a, b);
+    }
+}
+
+TEST_F(ParallelSweep, JsonExportsAreByteIdenticalAcrossJobCounts)
+{
+    const std::vector<RunSpec> specs = goldenSweepSpecs();
+    const fs::path base =
+        fs::temp_directory_path() / "hetsim_parallel_sweep_test";
+    const fs::path dir1 = base / "jobs1";
+    const fs::path dir4 = base / "jobs4";
+    fs::remove_all(base);
+    fs::create_directories(dir1);
+    fs::create_directories(dir4);
+
+    setenv("HETSIM_JSON_DIR", dir1.c_str(), 1);
+    {
+        ExperimentRunner runner(1);
+        runner.prefetch(specs);
+    }
+    setenv("HETSIM_JSON_DIR", dir4.c_str(), 1);
+    {
+        ExperimentRunner runner(4);
+        runner.prefetch(specs);
+    }
+    unsetenv("HETSIM_JSON_DIR");
+
+    const auto files1 = slurpDir(dir1);
+    const auto files4 = slurpDir(dir4);
+    EXPECT_EQ(files1.size(), specs.size());
+    ASSERT_EQ(files1.size(), files4.size());
+    for (const auto &[name, contents] : files1) {
+        const auto it = files4.find(name);
+        ASSERT_NE(it, files4.end()) << "missing export " << name;
+        EXPECT_EQ(contents, it->second) << "export differs: " << name;
+    }
+    fs::remove_all(base);
+}
+
+TEST(SanitizedKeys, CollidingKeysGetDistinctFilenames)
+{
+    // The pre-hash sanitizer mapped every illegal byte to '_', so keys
+    // differing only in punctuation collided ("a|b" vs "a_b" vs "a.b"
+    // with '.' legal but '|'/'_' flattened).  The appended raw-key hash
+    // keeps exports one-to-one; identical keys must still map to
+    // identical names (memoisation and regeneration depend on that).
+    const std::string a = sanitizedRunKey("cwf|rl|a8|r600");
+    const std::string b = sanitizedRunKey("cwf_rl_a8_r600");
+    const std::string c = sanitizedRunKey("cwf|rl|a8|r600");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, c);
+    // Stems (hash stripped) still collide — only the suffix saves us —
+    // and stay filesystem-safe.
+    const std::string stem_a = a.substr(0, a.rfind('-'));
+    const std::string stem_b = b.substr(0, b.rfind('-'));
+    EXPECT_EQ(stem_a, stem_b);
+    for (char ch : a) {
+        const bool ok = (ch >= 'a' && ch <= 'z') ||
+                        (ch >= 'A' && ch <= 'Z') ||
+                        (ch >= '0' && ch <= '9') || ch == '-' || ch == '.' ||
+                        ch == '_';
+        EXPECT_TRUE(ok) << "illegal filename byte: " << ch;
+    }
+}
+
+} // namespace
