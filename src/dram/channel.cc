@@ -1,6 +1,8 @@
 #include "dram/channel.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "check/checker.hh"
 #include "common/log.hh"
@@ -31,6 +33,25 @@ toString(DramCmd cmd)
     return "?";
 }
 
+SchedImpl
+Channel::schedImplFromEnv()
+{
+    if (const char *env = std::getenv("HETSIM_SCHED")) {
+        if (std::strcmp(env, "linear") == 0)
+            return SchedImpl::Linear;
+    }
+    return SchedImpl::Indexed;
+}
+
+void
+Channel::setSchedulerImpl(SchedImpl impl)
+{
+    sim_assert(readQ_.empty() && writeQ_.empty(),
+               name_, ": scheduler switch with queued transactions");
+    schedImpl_ = impl;
+    markAllRanksDirty();
+}
+
 Channel::Channel(std::string name, const DeviceParams &params,
                  unsigned ranks, SchedulerPolicy policy,
                  AddrBusArbiter *shared_cmd_bus)
@@ -40,6 +61,11 @@ Channel::Channel(std::string name, const DeviceParams &params,
       chipsPerRank_(params.chipsPerRank),
       pendingPerRank_(ranks, 0),
       lastWriteDataEnd_(ranks, 0),
+      schedImpl_(schedImplFromEnv()),
+      bankQ_(static_cast<std::size_t>(ranks) * params.banksPerRank),
+      horizon_(static_cast<std::size_t>(ranks) * params.banksPerRank),
+      rankDirty_(ranks, 1),
+      bankDirty_(static_cast<std::size_t>(ranks) * params.banksPerRank, 1),
       lastColumnPerBank_(static_cast<std::size_t>(ranks) *
                              params.banksPerRank,
                          kTickNever)
@@ -48,6 +74,16 @@ Channel::Channel(std::string name, const DeviceParams &params,
     ranks_.reserve(ranks);
     for (unsigned r = 0; r < ranks; ++r)
         ranks_.emplace_back(params_, r);
+    // Queues live for the channel's whole life at a bounded depth:
+    // reserving up front removes reallocation churn from long runs.
+    readQ_.reserve(policy_.readQueueCap);
+    writeQ_.reserve(policy_.writeQueueCap);
+    audit_.reserve(256);
+    prepCands_.reserve(bankQ_.size());
+    for (auto &bq : bankQ_) {
+        bq.read.reserve(8);
+        bq.write.reserve(8);
+    }
 }
 
 Channel::~Channel()
@@ -72,28 +108,39 @@ Channel::enqueue(MemRequest req, Tick now)
     sim_assert(req.coord.rank < ranks_.size(), "rank out of range");
     sim_assert(req.coord.bank < params_.banksPerRank, "bank out of range");
     req.enqueue = now;
+    req.seq = seqCounter_++;
     HETSIM_TRACE_EVENT(trace::Event::Enqueue, now, req.cookie,
                        req.lineAddr, req.coreId, req.coord.channel,
                        req.part, req.coord.bank);
 
     if (req.isRead()) {
         // Forward from a queued write to the same line/part: the data is
-        // newest in the write queue, no DRAM access needed.
-        for (const auto &w : writeQ_) {
-            if (w->lineAddr == req.lineAddr && w->part == req.part) {
-                req.firstIssue = now;
-                req.complete = now + cycleTicks_;
-                stats_.forwardedFromWriteQ.inc();
-                inflight_.push(std::make_unique<MemRequest>(req));
-                return;
-            }
+        // newest in the write queue, no DRAM access needed.  The count
+        // index answers "any matching write still queued?" in O(1), and a
+        // nonzero count always includes the youngest duplicate — the one
+        // holding the newest data.
+        if (pendingWriteLines_.count(forwardKey(req)) != 0) {
+            req.firstIssue = now;
+            req.complete = now + cycleTicks_;
+            stats_.forwardedFromWriteQ.inc();
+            inflight_.push(std::make_unique<MemRequest>(req));
+            nextEventValid_ = false; // inflight completion moved up
+            return;
         }
         pendingPerRank_[req.coord.rank] += 1;
         readQ_.push_back(std::make_unique<MemRequest>(req));
+        readQ_.back()->qpos =
+            static_cast<std::uint32_t>(readQ_.size() - 1);
+        indexInsert(*readQ_.back());
     } else {
         pendingPerRank_[req.coord.rank] += 1;
+        pendingWriteLines_[forwardKey(req)] += 1;
         writeQ_.push_back(std::make_unique<MemRequest>(req));
+        writeQ_.back()->qpos =
+            static_cast<std::uint32_t>(writeQ_.size() - 1);
+        indexInsert(*writeQ_.back());
     }
+    markBankDirty(bankSlot(req.coord));
 }
 
 bool
@@ -108,6 +155,14 @@ Channel::tick(Tick now)
     if (now < nextCycle_)
         return;
     nextCycle_ = now + cycleTicks_;
+    // The memoized next-event tick survives acted cycles that stay
+    // short of it: every state change that could move it either marks
+    // a horizon dirty or lands in enqueue() (both clear the memo), and
+    // completions only ever push the next event later — stale-early is
+    // fine under the never-overestimate contract and self-corrects at
+    // the cached tick, which is invalidated here when it is reached.
+    if (nextEventValid_ && nextEventCache_ <= now)
+        nextEventValid_ = false;
 
     completeReads(now);
     manageRefresh(now);
@@ -126,7 +181,7 @@ Channel::tick(Tick now)
         }
     }
 
-    scheduleCommand(now);
+    issuedLastCycle_ = scheduleCommand(now);
     managePowerDown(now);
 
     // Residency accounting for the power model.
@@ -148,13 +203,43 @@ Channel::alignToGrid(Tick t) const
 Tick
 Channel::nextEventTick(Tick now) const
 {
-    // Queued work (or a drain flag left to settle) means the scheduler
-    // must re-evaluate every memory cycle: bank/rank/bus legality can
-    // change at cycle granularity.
-    if (!readQ_.empty() || !writeQ_.empty() || draining_)
+    // Every input below is an absolute tick whose guard can only change
+    // on an acted cycle, an enqueue, or a fast-forward — all of which
+    // invalidate the memo — so repeated calls in between are O(1).
+    if (nextEventValid_)
+        return nextEventCache_;
+
+    // Streaming shortcut: a loaded-skip window can only open after an
+    // acted cycle that issued *nothing* (the skipped stretch must issue
+    // nothing, and legality horizons are monotone between commands), so
+    // while the channel keeps issuing, nextCycle_ — always a sound
+    // never-overestimate answer — is returned without touching the
+    // horizon machinery.  A pending drain flip pins the answer to
+    // nextCycle_ too, so checking it is superfluous here.
+    if (issuedLastCycle_ && !(readQ_.empty() && writeQ_.empty())) {
+        nextEventCache_ = nextCycle_;
+        nextEventValid_ = true;
+        return nextCycle_;
+    }
+
+    // A pending drain-hysteresis flip re-shapes scheduling at the very
+    // next acted cycle; it must not be skipped over.
+    if (drainWouldFlip())
         return nextCycle_;
 
-    Tick next = kTickNever;
+    // Queued work advances when some bank's legality horizon (and the
+    // data-bus gate) matures or a powered-down rank can be woken, both
+    // lower-bounded by schedulerHorizon().  A matured horizon pins the
+    // answer to the next acted cycle — nothing can beat it, so the
+    // rank/refresh scans below are skipped on the hot loaded path.
+    const Tick sched = schedulerHorizon();
+    if (sched <= nextCycle_) {
+        nextEventCache_ = nextCycle_;
+        nextEventValid_ = true;
+        return nextCycle_;
+    }
+
+    Tick next = sched == kTickNever ? kTickNever : alignToGrid(sched);
     if (!inflight_.empty())
         next = std::min(next, alignToGrid(inflight_.top()->complete));
 
@@ -182,10 +267,20 @@ Channel::nextEventTick(Tick now) const
                 pendingPerRank_[r] != 0) {
                 continue;
             }
-            next = std::min(next, alignToGrid(rank.lastCommand + idle_ticks));
+            // Entry additionally requires every open row to be
+            // precharge-able; with no work queued for this rank the
+            // banks' nextPrecharge is constant, so the max is exact.
+            Tick entry = rank.lastCommand + idle_ticks;
+            for (const auto &bank : rank.banks) {
+                if (bank.isOpen())
+                    entry = std::max(entry, bank.nextPrecharge);
+            }
+            next = std::min(next, alignToGrid(entry));
         }
     }
-    (void)now;
+
+    nextEventCache_ = next;
+    nextEventValid_ = true;
     return next;
 }
 
@@ -201,6 +296,225 @@ Channel::fastForward(Tick to)
     for (auto &rank : ranks_)
         rank.accountIdleCycles(nextCycle_, cycleTicks_, cycles);
     nextCycle_ += cycles * cycleTicks_;
+    nextEventValid_ = false; // the cycle grid moved under the memo
+}
+
+// ---------------------------------------------------------------------
+// Bank request index + cached legality horizons (DESIGN.md Section 11).
+// ---------------------------------------------------------------------
+
+void
+Channel::indexInsert(MemRequest &req)
+{
+    BankQueues &bq = bankQ_[bankSlot(req.coord)];
+    auto &fifo = req.isRead() ? bq.read : bq.write;
+    // Enqueue order is seq order, so push_back keeps the FIFO sorted.
+    fifo.push_back(&req);
+}
+
+void
+Channel::indexRemove(const MemRequest &req)
+{
+    BankQueues &bq = bankQ_[bankSlot(req.coord)];
+    auto &fifo = req.isRead() ? bq.read : bq.write;
+    auto it = std::find(fifo.begin(), fifo.end(), &req);
+    sim_assert(it != fifo.end(), name_, ": bank index missing request");
+    fifo.erase(it); // ordered erase keeps the per-bank FIFO stable
+}
+
+void
+Channel::markBankDirty(std::size_t slot)
+{
+    bankDirty_[slot] = 1;
+    anyDirty_ = true;
+    combinedValid_ = false;
+    nextEventValid_ = false;
+}
+
+void
+Channel::markRankDirty(unsigned rank)
+{
+    rankDirty_[rank] = 1;
+    anyDirty_ = true;
+    combinedValid_ = false;
+    nextEventValid_ = false;
+}
+
+void
+Channel::markAllRanksDirty() const
+{
+    std::fill(rankDirty_.begin(), rankDirty_.end(), 1);
+    anyDirty_ = true;
+    combinedValid_ = false;
+    nextEventValid_ = false;
+}
+
+Channel::BankHorizon
+Channel::computeBankHorizon(unsigned r, unsigned b, bool write_mode) const
+{
+    const BankQueues &bq = bankQ_[r * params_.banksPerRank + b];
+    const auto &fifo = write_mode ? bq.write : bq.read;
+    BankHorizon h{kTickNever, kTickNever};
+    if (fifo.empty())
+        return h;
+
+    const Rank &rank = ranks_[r];
+    const Bank &bank = rank.banks[b];
+    const bool open = params_.tRCD != 0 && bank.isOpen();
+
+    // One pass: earliest pending arrival (packetised front-ends enqueue
+    // with future ticks; the min over the whole FIFO is a never-late
+    // bound for every priority class, keeping horizons independent of
+    // prefetch promotion) plus the open-row hit/miss census.
+    Tick min_arrival = kTickNever;
+    bool any_hit = false;
+    bool any_miss = false;
+    for (const MemRequest *req : fifo) {
+        min_arrival = std::min(min_arrival, req->enqueue);
+        if (open) {
+            if (bank.openRow == static_cast<std::int64_t>(req->coord.row))
+                any_hit = true;
+            else
+                any_miss = true;
+        }
+    }
+
+    if (rank.poweredDown()) {
+        // The first arrived request wakes the rank (a scheduler side
+        // effect in its own right); nothing can happen before that.
+        return BankHorizon{min_arrival, min_arrival};
+    }
+    // Rank-level command gate: mid-refresh or wake settling (tXP).
+    const Tick rank_gate =
+        std::max(rank.refreshingUntil, rank.wakeReadyAt());
+
+    if (params_.tRCD == 0) {
+        // Compound access: bank ready plus rank tRRD/tFAW; preparation
+        // commands never apply.
+        const Tick ready =
+            std::max(bank.nextActivate, rank.earliestActivate());
+        h.col = std::max({ready, rank_gate, min_arrival});
+        return h;
+    }
+
+    if (open) {
+        if (any_hit)
+            h.col = std::max({bank.nextColumn, rank_gate, min_arrival});
+        // any_miss is a class-free superset of "the steering request
+        // wants a different row": the authoritative tryPrep still
+        // refuses to close a row its oldest requester is waiting on.
+        if (any_miss)
+            h.prep = std::max({bank.nextPrecharge, rank_gate, min_arrival});
+    } else {
+        const Tick act =
+            std::max(bank.nextActivate, rank.earliestActivate());
+        h.prep = std::max({act, rank_gate, min_arrival});
+    }
+    return h;
+}
+
+void
+Channel::refreshHorizons(bool write_mode) const
+{
+    if (write_mode != horizonModeWrite_) {
+        horizonModeWrite_ = write_mode;
+        markAllRanksDirty();
+    }
+    if (!anyDirty_)
+        return;
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        const std::size_t base =
+            static_cast<std::size_t>(r) * params_.banksPerRank;
+        if (rankDirty_[r]) {
+            rankDirty_[r] = 0;
+            for (unsigned b = 0; b < params_.banksPerRank; ++b) {
+                bankDirty_[base + b] = 0;
+                horizon_[base + b] =
+                    computeBankHorizon(r, b, write_mode);
+            }
+            continue;
+        }
+        for (unsigned b = 0; b < params_.banksPerRank; ++b) {
+            if (bankDirty_[base + b]) {
+                bankDirty_[base + b] = 0;
+                horizon_[base + b] =
+                    computeBankHorizon(r, b, write_mode);
+            }
+        }
+    }
+    anyDirty_ = false;
+}
+
+Tick
+Channel::busEarliest(bool is_write, unsigned r) const
+{
+    const Tick lat =
+        params_.ticks(is_write ? params_.tWL : params_.tRL);
+    Tick t = 0;
+    // A column at `now` starts data at now+lat, so a data-ready tick d
+    // translates to a command gate of d-lat (mirroring tryColumn's
+    // data_start comparisons exactly).
+    auto gate = [&](Tick data_ready) {
+        if (data_ready > lat)
+            t = std::max(t, data_ready - lat);
+    };
+    gate(dataBusFreeAt_);
+    if (lastDataRank_ >= 0 && lastDataRank_ != static_cast<int>(r))
+        gate(lastDataEnd_ + params_.ticks(params_.tRTRS));
+    if (!is_write) {
+        // tWTR gates the command tick itself, not the data start.
+        t = std::max(t,
+                     lastWriteDataEnd_[r] + params_.ticks(params_.tWTR));
+        if (lastDataWasWrite_)
+            gate(lastDataEnd_ + params_.ticks(params_.tRTRS));
+    } else if (!lastDataWasWrite_ && lastDataEnd_ > 0) {
+        gate(lastDataEnd_ + params_.ticks(params_.tRTRS));
+    }
+    return t;
+}
+
+Tick
+Channel::schedulerHorizon() const
+{
+    const bool write_mode = draining_ && !writeQ_.empty();
+    const auto &queue = write_mode ? writeQ_ : readQ_;
+    if (queue.empty())
+        return kTickNever;
+    refreshHorizons(write_mode);
+    if (combinedValid_)
+        return combinedHorizon_;
+    Tick best = kTickNever;
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        const Tick bus = busEarliest(write_mode, r);
+        for (unsigned b = 0; b < params_.banksPerRank; ++b) {
+            const BankHorizon &h =
+                horizon_[static_cast<std::size_t>(r) *
+                             params_.banksPerRank +
+                         b];
+            // col is additionally gated by the shared data bus; prep
+            // (and the powered-down wake, which collapses both fields
+            // to the earliest arrival) is not.
+            if (h.col != kTickNever)
+                best = std::min(best, std::max(h.col, bus));
+            if (h.prep != kTickNever)
+                best = std::min(best, h.prep);
+        }
+    }
+    combinedHorizon_ = best;
+    combinedValid_ = true;
+    return best;
+}
+
+bool
+Channel::drainWouldFlip() const
+{
+    if (draining_) {
+        return writeQ_.empty() ||
+               (writeQ_.size() <= policy_.drainLowWatermark &&
+                !readQ_.empty());
+    }
+    return writeQ_.size() >= policy_.drainHighWatermark ||
+           (readQ_.empty() && !writeQ_.empty());
 }
 
 void
@@ -240,8 +554,7 @@ Channel::manageRefresh(Tick now)
         if (rank.poweredDown()) {
             // Wake first; refresh will fire on a later cycle once tXP has
             // elapsed (self-refresh is approximated by this round trip).
-            rank.exitPowerDown(now);
-            check::onRankWake(this, name_, params_, rank.index(), now);
+            wakeRank(rank.index(), now);
             continue;
         }
         if (now < rank.readyAfterWake(now))
@@ -257,6 +570,7 @@ Channel::manageRefresh(Tick now)
         if (blocked)
             continue;
         rank.startRefresh(now);
+        markRankDirty(rank.index());
         stats_.refreshes.inc();
         recordAudit(DramCmd::Refresh, now,
                     DramCoord{0, static_cast<std::uint8_t>(rank.index()), 0,
@@ -291,6 +605,7 @@ Channel::managePowerDown(Tick now)
         if (!settled)
             continue;
         rank.enterPowerDown(now);
+        markRankDirty(r);
         check::onRankPowerDown(this, name_, params_, r, now);
         stats_.powerDownEntries.inc();
     }
@@ -309,13 +624,19 @@ Channel::rankAvailable(const Rank &rank, Tick now) const
 bool
 Channel::wakeIfNeeded(MemRequest &req, Tick now)
 {
-    Rank &rank = ranks_[req.coord.rank];
-    if (rank.poweredDown()) {
-        rank.exitPowerDown(now);
-        check::onRankWake(this, name_, params_, req.coord.rank, now);
+    if (ranks_[req.coord.rank].poweredDown()) {
+        wakeRank(req.coord.rank, now);
         return true; // woke this cycle; command issues once tXP elapses
     }
     return false;
+}
+
+void
+Channel::wakeRank(unsigned rank, Tick now)
+{
+    ranks_[rank].exitPowerDown(now);
+    check::onRankWake(this, name_, params_, rank, now);
+    markRankDirty(rank);
 }
 
 void
@@ -360,6 +681,10 @@ Channel::finishColumnIssue(MemRequest &req, Tick now, Tick data_start)
         req.firstIssue = now;
     req.complete = data_end;
     ranks_[req.coord.rank].lastCommand = now;
+    // Bank timing moved, and the global bus state folded into the
+    // combined horizon moved with it.  Compound (RLDRAM) columns also
+    // dirty rank-level activate state via tryColumn's commit path.
+    markBankDirty(bank_slot);
 }
 
 void

@@ -11,9 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <sstream>
 #include <tuple>
+#include <vector>
 
 #include "check/checker.hh"
+#include "dram/channel.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/system.hh"
@@ -82,6 +85,81 @@ TEST_P(FastForwardProperty, SkipAheadIsBitIdenticalToPerTickStepping)
     EXPECT_EQ(ff_stepped + ff_skipped, static_cast<std::uint64_t>(ff_end));
     EXPECT_EQ(serial_end, ff_end);
     EXPECT_EQ(serial_report, ff_report);
+}
+
+TEST(FastForwardLoaded, SkipsQuiescentStretchesWhileRequestsAreQueued)
+{
+    // With the sharpened nextEventTick(), a *loaded* channel whose
+    // queued requests cannot legally issue yet (future packet arrivals,
+    // matured-horizon waits) exposes multi-cycle skip windows.  The
+    // skip-driven run must stay bit-identical to per-tick stepping, and
+    // at least one skip must happen while the read queue is non-empty.
+    const dram::DeviceParams dev = dram::DeviceParams::ddr3_1600();
+
+    auto runOnce = [&](bool skip, bool &saw_loaded_skip) {
+        dram::Channel chan("ffload", dev, 2);
+        chan.enableAudit(true);
+        std::vector<std::string> log;
+        chan.setCallback([&log](dram::MemRequest &req) {
+            std::ostringstream os;
+            os << "done id=" << req.cookie << " at=" << req.complete;
+            log.push_back(os.str());
+        });
+        // All traffic lands up front with staggered future arrivals,
+        // HMC-vault style, so the channel is loaded but quiescent for
+        // long stretches.
+        for (unsigned i = 0; i < 24; ++i) {
+            dram::MemRequest req;
+            req.id = i;
+            req.cookie = i;
+            req.lineAddr = i * 64ULL;
+            req.type = i % 5 == 0 ? AccessType::Write : AccessType::Read;
+            req.coord = dram::DramCoord{
+                0, static_cast<std::uint8_t>(i % 2),
+                static_cast<std::uint8_t>((i / 2) % dev.banksPerRank),
+                static_cast<std::uint32_t>(i % 7), 0};
+            chan.enqueue(req, static_cast<Tick>(i) * 9'000);
+        }
+        const Tick horizon = 4'000'000;
+        Tick t = 0;
+        while (!chan.idle() && t < horizon) {
+            chan.tick(t);
+            const Tick next = chan.nextEventTick(t);
+            if (skip && next != kTickNever && next > t + 1) {
+                if (chan.pendingReads() + chan.pendingWrites() > 0)
+                    saw_loaded_skip = true;
+                chan.fastForward(next);
+                t = next;
+            } else {
+                t += 1;
+            }
+        }
+        EXPECT_TRUE(chan.idle()) << "run failed to drain";
+        for (const auto &ev : chan.audit()) {
+            std::ostringstream os;
+            os << toString(ev.cmd) << " t=" << ev.at << " r"
+               << static_cast<unsigned>(ev.rank) << " b"
+               << static_cast<unsigned>(ev.bank) << " row=" << ev.row;
+            log.push_back(os.str());
+        }
+        return log;
+    };
+
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    bool unused = false;
+    bool saw_loaded_skip = false;
+    const auto serial = runOnce(false, unused);
+    const auto skipped = runOnce(true, saw_loaded_skip);
+    checker.finalizeAll();
+    EXPECT_TRUE(checker.violations().empty()) << checker.report();
+    checker.disable();
+
+    EXPECT_TRUE(saw_loaded_skip)
+        << "no skip window opened while the channel was loaded";
+    ASSERT_EQ(serial.size(), skipped.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], skipped[i]) << "divergence at event " << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(
