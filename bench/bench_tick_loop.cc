@@ -12,9 +12,11 @@
  *     fast-forward on).
  *
  * Besides the usual table + CSV, a machine-readable summary is printed
- * between "--- bench json ---" markers; scripts_assemble_bench.sh
+ * between "--- bench json ---" markers; scripts/assemble_bench.sh
  * extracts it into BENCH_tick_loop.json so the repo carries a pinned
- * baseline of both speedups.
+ * baseline of both speedups, plus the tick-loop self-profile
+ * (HETSIM_PROFILE instrumentation: per-component wall clock and
+ * poll/useful-work counters).
  */
 
 #include <chrono>
@@ -81,6 +83,28 @@ measureSystemOnce(bool fast_forward)
     r.ticks = static_cast<std::uint64_t>(system.now());
     r.stepped = system.tickCalls();
     return r;
+}
+
+/** One golden-shaped run with the tick-loop self-profiler armed:
+ *  per-component wall clock plus poll/useful-work counters. */
+struct ProfiledRun
+{
+    System::SelfProfile profile;
+    std::string json;
+};
+
+ProfiledRun
+measureSelfProfile()
+{
+    SystemParams params;
+    params.mem = MemConfig::CwfRL;
+    params.seed = kGoldenSeed;
+    const auto &profile = workloads::suite::byName(kGoldenBenchmark);
+    System system(params, profile, kGoldenCores);
+    system.setFastForward(true);
+    system.setProfiling(true);
+    (void)runSimulation(system, goldenRunConfig());
+    return ProfiledRun{system.selfProfile(), system.profileJson()};
 }
 
 /** Wall clock of the six-config mcf golden sweep through the runner. */
@@ -193,6 +217,34 @@ main()
               << " of simulated ticks; ticks/sec speedup "
               << Table::num(tick_speedup, 2) << "x\n\n";
 
+    // ---- part 1b: tick-loop self-profile ----
+    const ProfiledRun prof = measureSelfProfile();
+    const auto pct = [](std::uint64_t useful, std::uint64_t polls) {
+        return polls ? Table::percent(static_cast<double>(useful) /
+                                      static_cast<double>(polls))
+                     : std::string("n/a");
+    };
+    Table tp({"component", "wall ms", "polls", "useful", "useful %"});
+    tp.addRow({"cores", Table::num(prof.profile.coresNs / 1e6, 2),
+               std::to_string(prof.profile.corePolls),
+               std::to_string(prof.profile.coreUseful),
+               pct(prof.profile.coreUseful, prof.profile.corePolls)});
+    tp.addRow({"hierarchy", Table::num(prof.profile.hierarchyNs / 1e6, 2),
+               std::to_string(prof.profile.hierPolls),
+               std::to_string(prof.profile.hierUseful),
+               pct(prof.profile.hierUseful, prof.profile.hierPolls)});
+    tp.addRow({"backend", Table::num(prof.profile.backendNs / 1e6, 2),
+               std::to_string(prof.profile.backendPolls),
+               std::to_string(prof.profile.backendUseful),
+               pct(prof.profile.backendUseful, prof.profile.backendPolls)});
+    tp.addRow({"skip-ahead", Table::num(prof.profile.skipNs / 1e6, 2),
+               std::to_string(prof.profile.skipPolls),
+               std::to_string(prof.profile.skips),
+               pct(prof.profile.skips, prof.profile.skipPolls)});
+    bench::printTableAndCsv(tp);
+    std::cout << "\ntick-loop self-profile over " << prof.profile.ticks
+              << " stepped ticks (HETSIM_PROFILE instrumentation)\n\n";
+
     // ---- part 2: deep-queue scheduler stress ----
     const TickRate dq_linear = bestOf(
         3, [] { return measureDeepQueueOnce(dram::SchedImpl::Linear); });
@@ -256,7 +308,8 @@ main()
          << "    \"serial_seconds\": " << sweep_serial << ",\n"
          << "    \"parallel_ff_seconds\": " << sweep_fast << ",\n"
          << "    \"speedup\": " << sweep_speedup << "\n"
-         << "  }\n"
+         << "  },\n"
+         << "  \"self_profile\": " << prof.json << "\n"
          << "}";
     std::cout << "\n--- bench json ---\n" << json.str()
               << "\n--- end bench json ---\n";

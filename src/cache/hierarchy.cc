@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/checker.hh"
+#include "common/attrib.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 
@@ -70,20 +71,33 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
             word == entry->storedCriticalWord) {
             return {Outcome::Ready, now + 1, HitLevel::Memory};
         }
-        entry->waiters.push_back(MshrWaiter{core, slot,
-                                            static_cast<std::uint8_t>(word)});
+        entry->waiters.push_back(MshrWaiter{
+            core, slot, static_cast<std::uint8_t>(word), now});
         stats_.mshrJoins.inc();
-        return {Outcome::Pending, kTickNever, HitLevel::Memory};
+        // A fast fragment that already arrived and did not satisfy this
+        // word (mismatch or parity fail) means only the bulk fragment
+        // can wake the load.
+        return {Outcome::Pending, kTickNever, HitLevel::Memory,
+                entry->fastArrived};
     }
 
     // 2. Private L1.
-    if (l1s_[core]->access(line, is_store))
+    if (l1s_[core]->access(line, is_store)) {
+        if (attrib::enabled()) {
+            stats_.lookupLatencyHist.sample(
+                static_cast<double>(params_.l1Latency));
+        }
         return {Outcome::Ready, now + params_.l1Latency, HitLevel::L1};
+    }
 
     // 3. Shared L2 (inclusive).
     if (l2_.access(line, /*mark_dirty=*/false)) {
         fillL1(core, line, is_store);
         trainAndPrefetch(core, line, now);
+        if (attrib::enabled()) {
+            stats_.lookupLatencyHist.sample(
+                static_cast<double>(params_.l2Latency));
+        }
         return {Outcome::Ready, now + params_.l2Latency, HitLevel::L2};
     }
 
@@ -119,8 +133,8 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
         pageCounts_[pageOf(line)] += 1;
 
     if (!is_store) {
-        entry->waiters.push_back(
-            MshrWaiter{core, slot, static_cast<std::uint8_t>(word)});
+        entry->waiters.push_back(MshrWaiter{
+            core, slot, static_cast<std::uint8_t>(word), now});
     }
 
     backend_.requestFill(
@@ -174,6 +188,11 @@ Hierarchy::onCriticalArrived(std::uint64_t mshr_id, Tick now,
         // Paper Section 4.2.3: on parity error the data is forwarded only
         // after the ECC code arrives and the error has been corrected.
         stats_.parityBlockedWakes.inc();
+        // Every parked load now waits on the bulk fragment.
+        if (bulkMark_) {
+            for (const auto &waiter : entry.waiters)
+                bulkMark_(waiter.coreId, waiter.robSlot);
+        }
         return;
     }
 
@@ -188,10 +207,18 @@ Hierarchy::onCriticalArrived(std::uint64_t mshr_id, Tick now,
                 wake_(it->coreId, it->robSlot, now);
             stats_.earlyWakes.inc();
             entry.earlyWoke = true;
+            if (attrib::enabled()) {
+                stats_.mshrWaitHist.sample(
+                    static_cast<double>(now - it->joinTick));
+            }
             HETSIM_TRACE_EVENT(trace::Event::EarlyWake, now, entry.id,
                                entry.lineAddr, it->coreId, 0, 0, it->word);
             it = waiters.erase(it);
         } else {
+            // The fast word cannot serve this load: it now waits on the
+            // bulk fragment (CPI-stack attribution).
+            if (bulkMark_)
+                bulkMark_(it->coreId, it->robSlot);
             ++it;
         }
     }
@@ -245,6 +272,10 @@ Hierarchy::onLineCompleted(std::uint64_t mshr_id, Tick now)
     for (const auto &waiter : entry.waiters) {
         if (wake_)
             wake_(waiter.coreId, waiter.robSlot, now);
+        if (attrib::enabled()) {
+            stats_.mshrWaitHist.sample(
+                static_cast<double>(now - waiter.joinTick));
+        }
     }
     entry.waiters.clear();
 
@@ -374,6 +405,8 @@ Hierarchy::registerStats(StatRegistry &registry) const
     h.addHistogram("fast_lead_ticks_hist", &stats_.fastLeadHist);
     h.addHistogram("early_wake_lead_ticks", &stats_.earlyWakeLeadHist);
     h.addHistogram("miss_latency_ticks", &stats_.missLatencyHist);
+    h.addHistogram("lookup_latency_ticks", &stats_.lookupLatencyHist);
+    h.addHistogram("mshr_wait_ticks", &stats_.mshrWaitHist);
     h.addCounter("l2_hits", &l2_.hits());
     h.addCounter("l2_misses", &l2_.misses());
 

@@ -57,15 +57,25 @@ class Hierarchy
         Outcome outcome = Outcome::Ready;
         Tick readyAt = 0;
         HitLevel level = HitLevel::L1;
+        /** Pending load that can only be completed by the bulk (rest of
+         *  line) fragment: the fast word already arrived and did not
+         *  satisfy it.  Feeds the core's CPI-stack bulk-wait bucket. */
+        bool bulkWait = false;
     };
 
     /** Wake a load parked in a core's ROB slot. */
     using WakeFn =
         std::function<void(std::uint8_t core, std::uint16_t slot, Tick)>;
 
+    /** Tag a parked load as waiting on the bulk fragment (the fast word
+     *  arrived but could not serve it); CPI-stack attribution only. */
+    using BulkMarkFn =
+        std::function<void(std::uint8_t core, std::uint16_t slot)>;
+
     Hierarchy(const Params &params, cwf::MemoryBackend &backend);
 
     void setWakeFn(WakeFn fn) { wake_ = std::move(fn); }
+    void setBulkMarkFn(BulkMarkFn fn) { bulkMark_ = std::move(fn); }
 
     /** Issue a load; Pending means the core will be woken via WakeFn. */
     AccessResult load(std::uint8_t core, std::uint16_t slot, Addr addr,
@@ -110,6 +120,11 @@ class Hierarchy
         Histogram earlyWakeLeadHist{4.0, 512};
         /** Demand miss latency (MSHR alloc -> line complete), ticks. */
         Histogram missLatencyHist{16.0, 512};
+        // ---- latency-attribution phases (DESIGN.md section 12) ----
+        /** L1/L2 lookup service latency for cache hits, ticks. */
+        Histogram lookupLatencyHist{1.0, 64};
+        /** Parked-load wait (waiter join -> wake), ticks. */
+        Histogram mshrWaitHist{16.0, 512};
     };
 
     const HierStats &stats() const { return stats_; }
@@ -158,6 +173,7 @@ class Hierarchy
     Params params_;
     cwf::MemoryBackend &backend_;
     WakeFn wake_;
+    BulkMarkFn bulkMark_;
 
     std::vector<std::unique_ptr<Cache>> l1s_;
     Cache l2_;

@@ -27,6 +27,7 @@ struct MshrWaiter
     std::uint8_t coreId = 0;
     std::uint16_t robSlot = 0;
     std::uint8_t word = 0;  ///< word of the line the load needs
+    Tick joinTick = 0;      ///< when the load parked (MSHR-wait phase)
 };
 
 struct MshrEntry

@@ -75,6 +75,8 @@ toString(Rule rule)
         return "hmc_order";
       case Rule::MshrLeak:
         return "mshr_leak";
+      case Rule::PhaseLedger:
+        return "phase_ledger";
     }
     return "?";
 }
@@ -746,6 +748,59 @@ Checker::lineComplete(std::uint64_t id, Tick at, bool has_fast,
                 "negative fast-word lead: completion at " +
                     std::to_string(at) + " precedes fast arrival at " +
                     std::to_string(fast_tick));
+    }
+}
+
+// --------------------------------------------------------------------
+// Latency-attribution phase ledger
+// --------------------------------------------------------------------
+
+void
+Checker::phaseLedger(const std::string &name, const dram::MemRequest &req)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string where =
+        "channel " + name + " req " + std::to_string(req.id);
+    const Tick at = req.complete == kTickNever ? req.enqueue : req.complete;
+
+    // Stamp monotonicity: enqueue <= prepIssue <= columnIssue <=
+    // dataStart <= complete for every stamp that was written.
+    Tick prev = req.enqueue;
+    const struct {
+        const char *label;
+        Tick tick;
+    } stamps[] = {{"prepIssue", req.prepIssue},
+                  {"columnIssue", req.columnIssue},
+                  {"dataStart", req.dataStart},
+                  {"complete", req.complete}};
+    for (const auto &stamp : stamps) {
+        if (stamp.tick == kTickNever)
+            continue;
+        if (stamp.tick < prev) {
+            violate(Rule::PhaseLedger, at, where,
+                    std::string(stamp.label) + " at " +
+                        std::to_string(stamp.tick) +
+                        " precedes an earlier phase stamp at " +
+                        std::to_string(prev));
+            return;
+        }
+        prev = stamp.tick;
+    }
+
+    // Partition: the four phases must tile [enqueue, complete] exactly.
+    if (req.complete == kTickNever)
+        return;
+    const Tick sum = req.queuePhase() + req.prepPhase() + req.casPhase() +
+                     req.busPhase();
+    if (sum != req.totalLatency()) {
+        violate(Rule::PhaseLedger, at, where,
+                "phase sum " + std::to_string(sum) +
+                    " != end-to-end latency " +
+                    std::to_string(req.totalLatency()) + " (queue " +
+                    std::to_string(req.queuePhase()) + " + prep " +
+                    std::to_string(req.prepPhase()) + " + cas " +
+                    std::to_string(req.casPhase()) + " + bus " +
+                    std::to_string(req.busPhase()) + ")");
     }
 }
 

@@ -80,6 +80,7 @@ enum class Rule : std::uint8_t {
     FastLead,        ///< line completed before fast fragment / negative lead
     HmcOrder,        ///< bulk packet delivered at/before its critical packet
     MshrLeak,        ///< MSHR entry never drained (finalizeAll)
+    PhaseLedger,     ///< phase ledger does not partition [enqueue, complete]
 };
 
 const char *toString(Rule rule);
@@ -173,6 +174,9 @@ class Checker
                    Tick fast_tick, bool parity_ok);
     void lineComplete(std::uint64_t id, Tick at, bool has_fast,
                       bool fast_arrived, Tick fast_tick);
+
+    // ---- latency-attribution phase ledger (stateless) ----
+    void phaseLedger(const std::string &name, const dram::MemRequest &req);
 
     // ---- HMC packet ordering ----
     void hmcDelivery(const void *domain, std::uint64_t id, bool critical,
@@ -376,6 +380,12 @@ onLineComplete(std::uint64_t id, Tick at, bool has_fast, bool fast_arrived,
 {
     HETSIM_CHECK_HOOK(lineComplete(id, at, has_fast, fast_arrived,
                                    fast_tick));
+}
+
+inline void
+onPhaseLedger(const std::string &name, const dram::MemRequest &req)
+{
+    HETSIM_CHECK_HOOK(phaseLedger(name, req));
 }
 
 inline void

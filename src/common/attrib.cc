@@ -1,0 +1,53 @@
+#include "common/attrib.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hetsim::attrib
+{
+
+namespace detail
+{
+std::atomic<bool> g_attribEnabled{true};
+} // namespace detail
+
+namespace
+{
+/** Resolve HETSIM_ATTRIB before main() so every System (including the
+ *  pre-main static ones tests construct) sees one consistent setting. */
+[[maybe_unused]] const bool g_envConfigured = [] {
+    if (const char *env = std::getenv("HETSIM_ATTRIB"))
+        detail::g_attribEnabled = std::strcmp(env, "0") != 0;
+    return true;
+}();
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    detail::g_attribEnabled = on;
+}
+
+const char *
+toString(Phase phase)
+{
+    switch (phase) {
+      case Phase::QueueWait:
+        return "queue_wait";
+      case Phase::Prep:
+        return "prep";
+      case Phase::Cas:
+        return "cas";
+      case Phase::Bus:
+        return "bus";
+      case Phase::MshrWait:
+        return "mshr_wait";
+      case Phase::BulkWait:
+        return "bulk_wait";
+      case Phase::Reassembly:
+        return "reassembly";
+    }
+    return "?";
+}
+
+} // namespace hetsim::attrib

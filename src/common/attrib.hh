@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Latency-attribution gate and the canonical per-request phase
+ * catalogue.
+ *
+ * Attribution (per-request phase histograms, per-core CPI stacks) is
+ * observation-only: the MemRequest timestamps are always written (they
+ * are trivially cheap plain stores), but rolling them into histograms
+ * and counting CPI buckets every cycle is gated on a process-global
+ * flag so the A/B contract — identical golden digests with attribution
+ * on and off — is testable from the environment:
+ *
+ *   HETSIM_ATTRIB=0   disable phase/CPI accumulation (default: on)
+ *
+ * The gate mirrors common/trace.hh: one relaxed atomic load per site,
+ * configured from the environment before main().
+ */
+
+#ifndef HETSIM_COMMON_ATTRIB_HH
+#define HETSIM_COMMON_ATTRIB_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace hetsim::attrib
+{
+
+/**
+ * Phases of one demand read through the DRAM controller, in timeline
+ * order.  The four channel phases partition [enqueue, complete] exactly
+ * (see dram::MemRequest's phase accessors and DESIGN.md section 12);
+ * the remaining entries label the processor-side and fill-level spans
+ * emitted to the tracer.
+ */
+enum class Phase : std::uint8_t {
+    QueueWait,  ///< enqueue -> first command steered by the request
+    Prep,       ///< first PRE/ACT steered by the request -> column
+    Cas,        ///< column command -> data burst start (tRL / tWL)
+    Bus,        ///< data burst occupancy (tBurst)
+    MshrWait,   ///< secondary miss joined an in-flight MSHR -> wake
+    BulkWait,   ///< CWF fill: fast fragment arrival -> slow fragment
+    Reassembly, ///< CWF fill: SECDED + fragment merge (modelled 0-cost)
+};
+
+const char *toString(Phase phase);
+
+namespace detail
+{
+/** Hot-path gate; relaxed reads (enable/disable only while no
+ *  simulations execute, exactly like the trace/check gates). */
+extern std::atomic<bool> g_attribEnabled;
+} // namespace detail
+
+/** Is phase/CPI accumulation on? One atomic load. */
+inline bool
+enabled()
+{
+    return detail::g_attribEnabled.load(std::memory_order_relaxed);
+}
+
+/** Programmatic override (tests); the environment sets the default. */
+void setEnabled(bool on);
+
+} // namespace hetsim::attrib
+
+#endif // HETSIM_COMMON_ATTRIB_HH

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/attrib.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 
@@ -16,13 +17,14 @@ std::atomic<bool> g_traceEnabled{false};
 void
 emit(Event event, Tick tick, std::uint64_t req_id, Addr line_addr,
      unsigned core, unsigned channel, unsigned part,
-     std::uint32_t detail_value) noexcept
+     std::uint32_t detail_value, std::uint32_t aux_value) noexcept
 {
     Record r;
     r.tick = tick;
     r.reqId = req_id;
     r.lineAddr = line_addr;
     r.detail = detail_value;
+    r.aux = aux_value;
     r.event = event;
     r.core = static_cast<std::uint8_t>(core);
     r.channel = static_cast<std::uint8_t>(channel);
@@ -56,6 +58,8 @@ toString(Event event)
         return "line_complete";
       case Event::SecdedCheck:
         return "secded_check";
+      case Event::PhaseSpan:
+        return "phase_span";
     }
     return "?";
 }
@@ -84,7 +88,7 @@ Tracer::Tracer()
 Tracer::~Tracer()
 {
     if (detail::g_traceEnabled)
-        flush();
+        disable();
 }
 
 void
@@ -106,6 +110,8 @@ Tracer::configureFromEnvironment()
     if (const char *fmt = std::getenv("HETSIM_TRACE_FORMAT")) {
         if (std::string(fmt) == "csv")
             format = Format::Csv;
+        else if (std::string(fmt) == "chrome")
+            format = Format::Chrome;
     }
     const char *path = std::getenv("HETSIM_TRACE_FILE");
     enableFileSink(path ? path : "hetsim_trace.jsonl", format);
@@ -124,6 +130,9 @@ Tracer::enableFileSink(const std::string &path, Format format)
     format_ = format;
     fileSink_ = true;
     csvHeaderWritten_ = false;
+    chromeWritten_ = 0;
+    if (format_ == Format::Chrome)
+        out_ << "[";
     ring_.clear();
     ring_.reserve(capacity_);
     head_ = 0;
@@ -154,8 +163,12 @@ Tracer::disable()
     if (detail::g_traceEnabled)
         flush();
     detail::g_traceEnabled = false;
-    if (out_.is_open())
+    if (out_.is_open()) {
+        // Close the Chrome trace-event array so the sink is strict JSON.
+        if (fileSink_ && format_ == Format::Chrome)
+            out_ << "\n]\n";
         out_.close();
+    }
     fileSink_ = false;
     sinkPath_.clear();
     ring_.clear();
@@ -191,7 +204,41 @@ Tracer::writeRecord(std::ostream &os, const Record &r) const
         os << r.tick << ',' << toString(r.event) << ',' << r.reqId << ','
            << r.lineAddr << ',' << static_cast<unsigned>(r.core) << ','
            << static_cast<unsigned>(r.channel) << ','
-           << static_cast<unsigned>(r.part) << ',' << r.detail << '\n';
+           << static_cast<unsigned>(r.part) << ',' << r.detail << ','
+           << r.aux << '\n';
+        return;
+    }
+    if (format_ == Format::Chrome) {
+        // Chrome trace-event objects (one per line inside the array that
+        // flush()/disable() frame).  Ticks map 1:1 onto the viewer's
+        // microsecond axis: a displayed "µs" is one 3.2 GHz tick.
+        if (r.event == Event::PhaseSpan) {
+            os << "{\"name\":\""
+               << attrib::toString(static_cast<attrib::Phase>(r.detail))
+               << "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":" << r.tick
+               << ",\"dur\":" << r.aux
+               << ",\"pid\":1,\"tid\":" << static_cast<unsigned>(r.channel)
+               << ",\"args\":{\"req\":" << r.reqId
+               << ",\"line\":" << r.lineAddr
+               << ",\"part\":" << static_cast<unsigned>(r.part) << "}}";
+        } else if (r.event == Event::MshrAlloc ||
+                   r.event == Event::LineComplete) {
+            // The MSHR fill becomes one async span per request,
+            // correlated on reqId and nested under the issuing core.
+            os << "{\"name\":\"fill\",\"cat\":\"request\",\"ph\":\""
+               << (r.event == Event::MshrAlloc ? 'b' : 'e')
+               << "\",\"id\":" << r.reqId << ",\"ts\":" << r.tick
+               << ",\"pid\":0,\"tid\":" << static_cast<unsigned>(r.core)
+               << ",\"args\":{\"line\":" << r.lineAddr << "}}";
+        } else {
+            os << "{\"name\":\"" << toString(r.event)
+               << "\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+               << r.tick << ",\"pid\":0,\"tid\":"
+               << static_cast<unsigned>(r.core)
+               << ",\"args\":{\"req\":" << r.reqId
+               << ",\"channel\":" << static_cast<unsigned>(r.channel)
+               << ",\"detail\":" << r.detail << "}}";
+        }
         return;
     }
     os << "{\"tick\":" << r.tick << ",\"event\":\"" << toString(r.event)
@@ -199,7 +246,7 @@ Tracer::writeRecord(std::ostream &os, const Record &r) const
        << ",\"core\":" << static_cast<unsigned>(r.core)
        << ",\"channel\":" << static_cast<unsigned>(r.channel)
        << ",\"part\":" << static_cast<unsigned>(r.part)
-       << ",\"detail\":" << r.detail << "}\n";
+       << ",\"detail\":" << r.detail << ",\"aux\":" << r.aux << "}\n";
 }
 
 void
@@ -209,11 +256,14 @@ Tracer::flush()
         return;
     }
     if (format_ == Format::Csv && !csvHeaderWritten_) {
-        out_ << "tick,event,req,line,core,channel,part,detail\n";
+        out_ << "tick,event,req,line,core,channel,part,detail,aux\n";
         csvHeaderWritten_ = true;
     }
-    for (const Record &r : ring_)
+    for (const Record &r : ring_) {
+        if (format_ == Format::Chrome)
+            out_ << (chromeWritten_++ ? ",\n" : "\n");
         writeRecord(out_, r);
+    }
     out_.flush();
     ring_.clear();
 }

@@ -15,6 +15,8 @@
  *   HETSIM_TRACE=1            enable, sink to HETSIM_TRACE_FILE
  *   HETSIM_TRACE_FILE=<path>  sink path (default "hetsim_trace.jsonl")
  *   HETSIM_TRACE_FORMAT=csv   CSV instead of JSONL
+ *   HETSIM_TRACE_FORMAT=chrome  Chrome trace-event JSON (Perfetto /
+ *                             chrome://tracing; ticks rendered as µs)
  *   HETSIM_TRACE_BUFFER=<n>   ring capacity in records (default 65536)
  *
  * Records correlate on `reqId`, the MSHR entry id that follows one fill
@@ -47,24 +49,27 @@ enum class Event : std::uint8_t {
     EarlyWake,     ///< a waiting load was woken by the fast fragment
     LineComplete,  ///< whole line (incl. ECC fragment) arrived
     SecdedCheck,   ///< SECDED checked on the rest-of-line fragment
+    PhaseSpan,     ///< latency-attribution phase interval (detail =
+                   ///< attrib::Phase, aux = duration in ticks)
 };
 
 const char *toString(Event event);
 
-/** One trace record; 32 bytes, POD. */
+/** One trace record; 40 bytes, POD. */
 struct Record
 {
     Tick tick = 0;
     std::uint64_t reqId = 0;  ///< MSHR id; 0 = pre-alloc / writeback
     Addr lineAddr = 0;
     std::uint32_t detail = 0; ///< event-specific (word, bank, flag)
+    std::uint32_t aux = 0;    ///< second payload (PhaseSpan duration)
     Event event = Event::CoreIssue;
     std::uint8_t core = 0;
     std::uint8_t channel = 0;
     std::uint8_t part = 0;    ///< dram::MemRequest part tag
 };
 
-enum class Format : std::uint8_t { Jsonl, Csv };
+enum class Format : std::uint8_t { Jsonl, Csv, Chrome };
 
 namespace detail
 {
@@ -79,8 +84,8 @@ extern std::atomic<bool> g_traceEnabled;
  *  never perturbs the caller's register allocation or EH paths. */
 [[gnu::cold]] void emit(Event event, Tick tick, std::uint64_t req_id,
                         Addr line_addr, unsigned core, unsigned channel,
-                        unsigned part,
-                        std::uint32_t detail_value) noexcept;
+                        unsigned part, std::uint32_t detail_value,
+                        std::uint32_t aux_value = 0) noexcept;
 } // namespace detail
 
 class Tracer
@@ -135,6 +140,7 @@ class Tracer
     std::ofstream out_;
     std::string sinkPath_;
     bool csvHeaderWritten_ = false;
+    std::uint64_t chromeWritten_ = 0; ///< events emitted into the array
     std::uint64_t recorded_ = 0;
     std::uint64_t dropped_ = 0;
 };

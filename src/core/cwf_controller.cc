@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "check/checker.hh"
+#include "common/attrib.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/hetero_memory.hh"
@@ -225,6 +226,12 @@ CwfHeteroMemory::maybeComplete(std::uint64_t mshr_id, PendingFill &pending)
     if (!pending.fastDone || !pending.slowDone)
         return;
     const Tick done = std::max(pending.fastTick, pending.slowTick);
+    if (attrib::enabled()) {
+        const Tick bulk_wait = pending.slowTick > pending.fastTick
+                                   ? pending.slowTick - pending.fastTick
+                                   : 0;
+        bulkWaitHist_.sample(static_cast<double>(bulk_wait));
+    }
     check::onCwfComplete(this, mshr_id, pending.fastTick, pending.slowTick,
                          done);
     pending_.erase(mshr_id);
@@ -277,6 +284,7 @@ CwfHeteroMemory::resetStats(Tick now)
     fastLatency_.reset();
     slowLatency_.reset();
     parityErrors_.reset();
+    bulkWaitHist_.reset();
 }
 
 double
@@ -334,6 +342,7 @@ CwfHeteroMemory::registerStats(StatRegistry &registry) const
     StatGroup &g = registry.group("core/cwf_controller");
     g.addAverage("fast_fragment_latency_ticks", &fastLatency_);
     g.addAverage("slow_fragment_latency_ticks", &slowLatency_);
+    g.addHistogram("bulk_wait_ticks", &bulkWaitHist_);
     g.addCounter("parity_errors_injected", &parityErrors_);
     g.addGauge("pending_fills",
                [this] { return static_cast<double>(pending_.size()); });

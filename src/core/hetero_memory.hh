@@ -191,6 +191,9 @@ class CwfHeteroMemory : public MemoryBackend
     Average fastLatency_;
     Average slowLatency_;
     Counter parityErrors_;
+    /** Fast-word lead consumed waiting for the bulk fragment
+     *  (max(0, slowTick - fastTick)); DESIGN.md section 12. */
+    Histogram bulkWaitHist_{4.0, 512};
 };
 
 // --------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/attrib.hh"
 #include "common/log.hh"
 
 namespace hetsim::cpu
@@ -32,6 +33,8 @@ Core::lastLoadPending(Tick now) const
 void
 Core::tick(Tick now)
 {
+    const std::uint64_t retired_before = retired_;
+
     // ---- retire ----
     for (unsigned w = 0; w < params_.width && count_ > 0; ++w) {
         RobEntry &head = rob_[head_];
@@ -92,6 +95,7 @@ Core::tick(Tick now)
                 entry.readyAt = res.readyAt;
             } else {
                 entry.ready = false;
+                entry.bulkWait = res.bulkWait;
             }
             lastLoadSlot_ = static_cast<int>(slot);
             lastLoadSeq_ = entry.seq;
@@ -104,6 +108,31 @@ Core::tick(Tick now)
     }
 
     robOccupancySum_ += count_;
+
+    // ---- CPI-stack attribution ----
+    if (attrib::enabled()) {
+        const CpiBucket bucket = retired_ != retired_before
+                                     ? CpiBucket::Compute
+                                     : stallBucket();
+        cpi_[static_cast<unsigned>(bucket)] += 1;
+    }
+}
+
+Core::CpiBucket
+Core::stallBucket() const
+{
+    // Deliberately `now`-independent: fastForward() applies this same
+    // classification to every skipped tick, so per-tick stepping and
+    // event-driven skips must agree on the frozen ROB state alone (the
+    // fast-forward report-equality contract).
+    if (count_ == 0)
+        return CpiBucket::DispatchStall;
+    const RobEntry &head = rob_[head_];
+    if (!head.ready && head.isLoad)
+        return head.bulkWait ? CpiBucket::BulkWait : CpiBucket::CritWait;
+    if (!head.ready)
+        return CpiBucket::DispatchStall;
+    return robFull() ? CpiBucket::RobFull : CpiBucket::DispatchStall;
 }
 
 Tick
@@ -150,6 +179,10 @@ Core::fastForward(Tick from, Tick to)
     const std::uint64_t n = to - from;
     dispatchStalls_ += n;
     robOccupancySum_ += static_cast<std::uint64_t>(count_) * n;
+    // Closed-form CPI integration: the ROB state is frozen across the
+    // skip, so every skipped tick classifies identically.
+    if (attrib::enabled())
+        cpi_[static_cast<unsigned>(stallBucket())] += n;
 }
 
 void
@@ -163,12 +196,21 @@ Core::wake(std::uint16_t slot, Tick now)
 }
 
 void
+Core::markBulkWait(std::uint16_t slot)
+{
+    RobEntry &entry = rob_[slot];
+    if (entry.valid && entry.isLoad && !entry.ready)
+        entry.bulkWait = true;
+}
+
+void
 Core::resetStats(Tick now)
 {
     retiredAtWindowStart_ = retired_;
     windowStart_ = now;
     robOccupancySum_ = 0;
     dispatchStalls_ = 0;
+    cpi_.fill(0);
 }
 
 double
@@ -196,6 +238,16 @@ Core::registerStats(StatRegistry &registry) const
     g.addGauge("rob_occupancy_sum", [this] {
         return static_cast<double>(robOccupancySum_);
     });
+    const auto cpi = [this](CpiBucket bucket) {
+        return [this, bucket] {
+            return static_cast<double>(cpiCycles(bucket));
+        };
+    };
+    g.addGauge("cpi_compute", cpi(CpiBucket::Compute));
+    g.addGauge("cpi_crit_wait", cpi(CpiBucket::CritWait));
+    g.addGauge("cpi_bulk_wait", cpi(CpiBucket::BulkWait));
+    g.addGauge("cpi_rob_full", cpi(CpiBucket::RobFull));
+    g.addGauge("cpi_dispatch_stall", cpi(CpiBucket::DispatchStall));
 }
 
 } // namespace hetsim::cpu

@@ -17,6 +17,7 @@
 #ifndef HETSIM_CPU_CORE_HH
 #define HETSIM_CPU_CORE_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -71,7 +72,31 @@ class Core
     /** Deliver data to a parked load (called via Hierarchy's WakeFn). */
     void wake(std::uint16_t slot, Tick now);
 
+    /** Tag a parked load as waiting on the bulk fragment (called via
+     *  Hierarchy's BulkMarkFn); CPI-stack attribution only. */
+    void markBulkWait(std::uint16_t slot);
+
     std::uint8_t id() const { return id_; }
+
+    /**
+     * CPI-stack cycle attribution (DESIGN.md section 12).  Every core
+     * cycle of a measurement window lands in exactly one bucket, whether
+     * it was stepped or fast-forwarded, so the bucket sum equals the
+     * window's tick count (gated by HETSIM_ATTRIB).
+     */
+    enum class CpiBucket : std::uint8_t {
+        Compute,       ///< at least one instruction retired
+        CritWait,      ///< head load parked, fast word still to come
+        BulkWait,      ///< head load parked, only the bulk line helps
+        RobFull,       ///< head in flight (non-load), ROB full
+        DispatchStall, ///< dependence wait / blocked access / frontend
+    };
+    static constexpr unsigned kCpiBuckets = 5;
+
+    std::uint64_t cpiCycles(CpiBucket bucket) const
+    {
+        return cpi_[static_cast<unsigned>(bucket)];
+    }
 
     // ---- measurement ----
     std::uint64_t retired() const { return retired_; }
@@ -95,11 +120,14 @@ class Core
         bool ready = false;
         Tick readyAt = 0;
         bool isLoad = false;
+        /** Parked load that only the bulk fragment can wake. */
+        bool bulkWait = false;
         std::uint64_t seq = 0;
     };
 
     bool robFull() const { return count_ == params_.robSize; }
     bool lastLoadPending(Tick now) const;
+    CpiBucket stallBucket() const;
 
     std::uint8_t id_;
     Params params_;
@@ -124,6 +152,7 @@ class Core
     Tick windowStart_ = 0;
     std::uint64_t robOccupancySum_ = 0;
     std::uint64_t dispatchStalls_ = 0;
+    std::array<std::uint64_t, kCpiBuckets> cpi_{};
 };
 
 } // namespace hetsim::cpu

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "check/checker.hh"
+#include "common/attrib.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 
@@ -121,6 +122,10 @@ Channel::enqueue(MemRequest req, Tick now)
         // holding the newest data.
         if (pendingWriteLines_.count(forwardKey(req)) != 0) {
             req.firstIssue = now;
+            // Degenerate phase ledger: the whole forwarding latency is
+            // one bus-time phase (queue/prep/cas all zero-width).
+            req.columnIssue = now;
+            req.dataStart = now;
             req.complete = now + cycleTicks_;
             stats_.forwardedFromWriteQ.inc();
             inflight_.push(std::make_unique<MemRequest>(req));
@@ -535,12 +540,50 @@ Channel::completeReads(Tick now)
                 static_cast<double>(done->serviceLatency()));
             stats_.totalLatency.sample(
                 static_cast<double>(done->totalLatency()));
+            if (attrib::enabled()) {
+                stats_.phaseQueueHist.sample(
+                    static_cast<double>(done->queuePhase()));
+                stats_.phasePrepHist.sample(
+                    static_cast<double>(done->prepPhase()));
+                stats_.phaseCasHist.sample(
+                    static_cast<double>(done->casPhase()));
+                stats_.phaseBusHist.sample(
+                    static_cast<double>(done->busPhase()));
+            }
         } else {
             stats_.prefetchReads.inc();
         }
+        check::onPhaseLedger(name_, *done);
+        emitPhaseSpans(*done);
         if (callback_)
             callback_(*done);
     }
+}
+
+void
+Channel::emitPhaseSpans(const MemRequest &req) const
+{
+#ifndef HETSIM_DISABLE_TRACE
+    if (!trace::detail::g_traceEnabled) [[likely]]
+        return;
+    // One PhaseSpan record per non-empty ledger phase; tick = span
+    // start, aux = duration, detail = attrib::Phase id.
+    const auto span = [&](attrib::Phase phase, Tick start, Tick ticks) {
+        if (ticks == 0 || start == kTickNever)
+            return;
+        trace::detail::emit(trace::Event::PhaseSpan, start, req.cookie,
+                            req.lineAddr, req.coreId, req.coord.channel,
+                            req.part,
+                            static_cast<std::uint32_t>(phase),
+                            static_cast<std::uint32_t>(ticks));
+    };
+    span(attrib::Phase::QueueWait, req.enqueue, req.queuePhase());
+    span(attrib::Phase::Prep, req.prepIssue, req.prepPhase());
+    span(attrib::Phase::Cas, req.columnIssue, req.casPhase());
+    span(attrib::Phase::Bus, req.dataStart, req.busPhase());
+#else
+    (void)req;
+#endif
 }
 
 void
@@ -677,6 +720,7 @@ Channel::finishColumnIssue(MemRequest &req, Tick now, Tick data_start)
     stats_.dataBusBusyTicks += params_.ticks(params_.tBurst);
 
     req.columnIssue = now;
+    req.dataStart = data_start;
     if (req.firstIssue == kTickNever)
         req.firstIssue = now;
     req.complete = data_end;
@@ -726,6 +770,10 @@ Channel::resetStats(Tick now)
     stats_.totalLatency.reset();
     stats_.queueDelayHist.reset();
     stats_.bankTurnaroundHist.reset();
+    stats_.phaseQueueHist.reset();
+    stats_.phasePrepHist.reset();
+    stats_.phaseCasHist.reset();
+    stats_.phaseBusHist.reset();
     stats_.dataBusBusyTicks = 0;
     stats_.windowStart = now;
     for (auto &rank : ranks_)
@@ -758,6 +806,12 @@ Channel::registerStats(StatRegistry &registry) const
 
     StatGroup &bank = registry.group("dram/bank/" + name_);
     bank.addHistogram("turnaround_ticks", &stats_.bankTurnaroundHist);
+
+    StatGroup &phase = registry.group("dram/phase/" + name_);
+    phase.addHistogram("queue_wait_ticks", &stats_.phaseQueueHist);
+    phase.addHistogram("prep_ticks", &stats_.phasePrepHist);
+    phase.addHistogram("cas_ticks", &stats_.phaseCasHist);
+    phase.addHistogram("bus_ticks", &stats_.phaseBusHist);
 }
 
 std::vector<RankActivity>

@@ -177,6 +177,13 @@ class Channel
         /** Gap between consecutive column commands to the same bank
          *  (bank turnaround), ticks. */
         Histogram bankTurnaroundHist{4.0, 512};
+        /** Per-request phase ledger distributions over demand reads
+         *  (DESIGN.md section 12): the four phases partition
+         *  [enqueue, complete] exactly. */
+        Histogram phaseQueueHist{16.0, 512};
+        Histogram phasePrepHist{4.0, 512};
+        Histogram phaseCasHist{4.0, 512};
+        Histogram phaseBusHist{4.0, 512};
     };
 
     const ChannelStats &stats() const { return stats_; }
@@ -305,6 +312,9 @@ class Channel
     // Implemented in channel.cc.
     Tick alignToGrid(Tick t) const;
     void completeReads(Tick now);
+    /** Emit the four ledger phases of a completed read as trace
+     *  PhaseSpan records (no-op while tracing is off). */
+    void emitPhaseSpans(const MemRequest &req) const;
     void manageRefresh(Tick now);
     void managePowerDown(Tick now);
     bool rankAvailable(const Rank &rank, Tick now) const;

@@ -52,8 +52,14 @@ struct MemRequest
     /** First DRAM command issued on this transaction's behalf (for the
      *  queue-vs-core latency split of Fig. 1b). */
     Tick firstIssue = kTickNever;
+    /** First preparation command (PRECHARGE or ACTIVATE) the scheduler
+     *  issued steered by this request; kTickNever for row hits, write
+     *  forwards and compound (RLDRAM) accesses. */
+    Tick prepIssue = kTickNever;
     /** Column command issue time. */
     Tick columnIssue = kTickNever;
+    /** First tick of the data burst (columnIssue + tRL/tWL). */
+    Tick dataStart = kTickNever;
     /** Data fully returned / written. */
     Tick complete = kTickNever;
 
@@ -94,6 +100,56 @@ struct MemRequest
     totalLatency() const
     {
         return complete == kTickNever ? 0 : complete - enqueue;
+    }
+
+    // ---- phase ledger (DESIGN.md section 12) ----
+    //
+    // The four phases below partition [enqueue, complete] exactly for
+    // every completed request:
+    //
+    //   queuePhase + prepPhase + casPhase + busPhase == totalLatency()
+    //
+    // Queue wait ends at the first command the scheduler issued *steered
+    // by this request* (its own PRE/ACT, else its column command): a row
+    // opened on another request's behalf is queueing from this request's
+    // point of view.  Write-forwarded reads complete with columnIssue ==
+    // dataStart == enqueue, so their ledger degenerates to one bus-time
+    // phase of the forwarding latency.
+
+    /** Controller queueing before the request's own first command. */
+    Tick
+    queuePhase() const
+    {
+        const Tick first =
+            prepIssue != kTickNever ? prepIssue : columnIssue;
+        return first == kTickNever ? 0 : first - enqueue;
+    }
+
+    /** Bank preparation (PRE/ACT churn steered by this request). */
+    Tick
+    prepPhase() const
+    {
+        return prepIssue == kTickNever || columnIssue == kTickNever
+                   ? 0
+                   : columnIssue - prepIssue;
+    }
+
+    /** Column access latency (tRL / tWL). */
+    Tick
+    casPhase() const
+    {
+        return columnIssue == kTickNever || dataStart == kTickNever
+                   ? 0
+                   : dataStart - columnIssue;
+    }
+
+    /** Data-bus transfer (tBurst; forwarding latency for write hits). */
+    Tick
+    busPhase() const
+    {
+        return dataStart == kTickNever || complete == kTickNever
+                   ? 0
+                   : complete - dataStart;
     }
 };
 

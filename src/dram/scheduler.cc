@@ -410,6 +410,8 @@ Channel::tryPrep(MemRequest &req, Tick now)
         bank.precharge(now, params_);
         rank.lastCommand = now;
         markBankDirty(bankSlot(req.coord));
+        if (req.prepIssue == kTickNever)
+            req.prepIssue = now;
         recordAudit(DramCmd::Precharge, now, req.coord, 0, 0);
         return true;
     }
@@ -426,6 +428,8 @@ Channel::tryPrep(MemRequest &req, Tick now)
     rank.recordActivate(now);
     markRankDirty(req.coord.rank);
     req.neededActivate = true;
+    if (req.prepIssue == kTickNever)
+        req.prepIssue = now;
     HETSIM_TRACE_EVENT(trace::Event::BankAct, now, req.cookie,
                        req.lineAddr, req.coreId, req.coord.channel,
                        req.part, req.coord.bank);

@@ -1,8 +1,10 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 #include "common/log.hh"
 
@@ -43,6 +45,10 @@ System::System(const SystemParams &params,
         [this](std::uint8_t core, std::uint16_t slot, Tick when) {
             cores_.at(core)->wake(slot, when);
         });
+    hierarchy_->setBulkMarkFn([this](std::uint8_t core,
+                                     std::uint16_t slot) {
+        cores_.at(core)->markBulkWait(slot);
+    });
 
     // All components live as long as the System, so registered stat
     // pointers and gauge closures stay valid for the registry's life.
@@ -53,11 +59,17 @@ System::System(const SystemParams &params,
 
     if (const char *env = std::getenv("HETSIM_FASTFWD"))
         fastForward_ = std::strcmp(env, "0") != 0;
+    if (const char *env = std::getenv("HETSIM_PROFILE"))
+        profiling_ = std::strcmp(env, "0") != 0;
 }
 
 void
 System::tick()
 {
+    if (profiling_) [[unlikely]] {
+        tickProfiled();
+        return;
+    }
     for (auto &core : cores_)
         core->tick(now_);
     hierarchy_->tick(now_);
@@ -67,7 +79,64 @@ System::tick()
 }
 
 void
+System::tickProfiled()
+{
+    using clock = std::chrono::steady_clock;
+    SelfProfile &p = selfProfile_;
+    p.ticks += 1;
+
+    // Usefulness is judged from the pre-tick state: a poll is useful
+    // when the component reports it can change state at now_.
+    for (const auto &core : cores_) {
+        p.corePolls += 1;
+        if (core->nextEventTick(now_) <= now_)
+            p.coreUseful += 1;
+    }
+    p.hierPolls += 1;
+    if (hierarchy_->nextEventTick(now_) <= now_)
+        p.hierUseful += 1;
+    p.backendPolls += 1;
+    if (backend_->nextEventTick(now_) <= now_)
+        p.backendUseful += 1;
+
+    const auto t0 = clock::now();
+    for (auto &core : cores_)
+        core->tick(now_);
+    const auto t1 = clock::now();
+    hierarchy_->tick(now_);
+    const auto t2 = clock::now();
+    backend_->tick(now_);
+    const auto t3 = clock::now();
+    p.coresNs += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    p.hierarchyNs +=
+        std::chrono::duration<double, std::nano>(t2 - t1).count();
+    p.backendNs +=
+        std::chrono::duration<double, std::nano>(t3 - t2).count();
+
+    now_ += 1;
+    tickCalls_ += 1;
+}
+
+void
 System::skipAhead(Tick limit)
+{
+    if (!profiling_) [[likely]] {
+        skipAheadImpl(limit);
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tick before = now_;
+    skipAheadImpl(limit);
+    const auto t1 = std::chrono::steady_clock::now();
+    selfProfile_.skipNs +=
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    selfProfile_.skipPolls += 1;
+    if (now_ != before)
+        selfProfile_.skips += 1;
+}
+
+void
+System::skipAheadImpl(Tick limit)
 {
     if (!fastForward_)
         return;
@@ -90,6 +159,27 @@ System::skipAhead(Tick limit)
     backend_->fastForward(now_, next);
     skippedTicks_ += next - now_;
     now_ = next;
+}
+
+std::string
+System::profileJson() const
+{
+    const SelfProfile &p = selfProfile_;
+    std::ostringstream os;
+    os << "{\"ticks\":" << p.ticks << ",\"skip_polls\":" << p.skipPolls
+       << ",\"skips\":" << p.skips << ",\"core_polls\":" << p.corePolls
+       << ",\"core_useful\":" << p.coreUseful
+       << ",\"hierarchy_polls\":" << p.hierPolls
+       << ",\"hierarchy_useful\":" << p.hierUseful
+       << ",\"backend_polls\":" << p.backendPolls
+       << ",\"backend_useful\":" << p.backendUseful;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << ",\"cores_ms\":" << p.coresNs / 1e6
+       << ",\"hierarchy_ms\":" << p.hierarchyNs / 1e6
+       << ",\"backend_ms\":" << p.backendNs / 1e6
+       << ",\"skip_ms\":" << p.skipNs / 1e6 << "}";
+    return os.str();
 }
 
 void

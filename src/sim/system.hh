@@ -75,6 +75,37 @@ class System
     const SystemParams &params() const { return params_; }
     const workloads::BenchmarkProfile &profile() const { return profile_; }
 
+    /**
+     * Host-side tick-loop self-profile (HETSIM_PROFILE=1, or
+     * setProfiling).  Wall-clock per component plus poll/useful-work
+     * counters: a poll is "useful" when the component's nextEventTick()
+     * says it can change state this tick.  Pure observation — the
+     * simulated behaviour and every report are unchanged.
+     */
+    struct SelfProfile
+    {
+        std::uint64_t ticks = 0;     ///< profiled tick() calls
+        std::uint64_t skipPolls = 0; ///< skipAhead() attempts
+        std::uint64_t skips = 0;     ///< skipAhead() jumps taken
+        std::uint64_t corePolls = 0;
+        std::uint64_t coreUseful = 0;
+        std::uint64_t hierPolls = 0;
+        std::uint64_t hierUseful = 0;
+        std::uint64_t backendPolls = 0;
+        std::uint64_t backendUseful = 0;
+        double coresNs = 0.0;     ///< wall-clock inside core ticks
+        double hierarchyNs = 0.0; ///< wall-clock inside hierarchy ticks
+        double backendNs = 0.0;   ///< wall-clock inside backend ticks
+        double skipNs = 0.0;      ///< wall-clock inside skipAhead()
+    };
+
+    void setProfiling(bool on) { profiling_ = on; }
+    bool profilingEnabled() const { return profiling_; }
+    const SelfProfile &selfProfile() const { return selfProfile_; }
+
+    /** One-line JSON object rendering of selfProfile() (bench reports). */
+    std::string profileJson() const;
+
     /** Open a fresh measurement window at the current tick. */
     void resetStats();
 
@@ -91,6 +122,9 @@ class System
     const StatRegistry &statRegistry() const { return statRegistry_; }
 
   private:
+    void tickProfiled();
+    void skipAheadImpl(Tick limit);
+
     SystemParams params_;
     const workloads::BenchmarkProfile &profile_;
     unsigned activeCores_;
@@ -105,6 +139,8 @@ class System
     Tick now_ = 0;
     Tick windowStart_ = 0;
     bool fastForward_ = true;
+    bool profiling_ = false;
+    SelfProfile selfProfile_;
     std::uint64_t tickCalls_ = 0;
     std::uint64_t skippedTicks_ = 0;
 };

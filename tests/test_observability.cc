@@ -241,9 +241,9 @@ TEST(TracerTest, CsvSinkHasHeaderAndRows)
     std::ifstream in(path);
     std::string header, row;
     ASSERT_TRUE(std::getline(in, header));
-    EXPECT_EQ(header, "tick,event,req,line,core,channel,part,detail");
+    EXPECT_EQ(header, "tick,event,req,line,core,channel,part,detail,aux");
     ASSERT_TRUE(std::getline(in, row));
-    EXPECT_EQ(row, "11,bank_cas,9,128,0,2,1,4");
+    EXPECT_EQ(row, "11,bank_cas,9,128,0,2,1,4,0");
     std::remove(path.c_str());
 }
 
