@@ -1,22 +1,30 @@
 /**
  * @file
- * Simulation-throughput benchmark for the two PR-level speedups:
+ * Simulation-throughput benchmark for the main-loop engines:
  *
- *  1. Idle-cycle fast-forward — simulated ticks/second of one system
- *     (CwfRL, mcf, 8 cores) with per-tick stepping vs. event jumps,
- *     plus how many ticks the jump path actually skipped.
+ *  1. Engine comparison — simulated ticks/second of one system (CwfRL,
+ *     mcf, 8 cores) under the per-tick reference loop, the tick loop
+ *     with idle-cycle fast-forward, and the discrete-event engine
+ *     (HETSIM_ENGINE=event).  Under the event engine the old
+ *     "skipped-tick fraction" no longer applies (nothing is polled),
+ *     so the report shows events/second and the polled-cycle fraction
+ *     per component group instead: the share of simulated cycles on
+ *     which that group actually ran.
  *
- *  2. Parallel sweep engine — wall clock of the full six-config mcf
- *     golden sweep on the pre-PR equivalent path (serial runner,
- *     fast-forward off) vs. the new path (HETSIM_JOBS workers,
- *     fast-forward on).
+ *  2. Idle-heavy configuration (HMC-CDF, one core running a pure
+ *     dependent pointer-chase microbenchmark — serialised misses, long
+ *     core sleeps, fifteen of sixteen vaults quiescent): the case the
+ *     event engine exists for.
+ *
+ *  3. Deep-queue scheduler stress and the six-config mcf golden sweep
+ *     (serial pre-PR path vs. HETSIM_JOBS workers + event engine).
  *
  * Besides the usual table + CSV, a machine-readable summary is printed
  * between "--- bench json ---" markers; scripts/assemble_bench.sh
  * extracts it into BENCH_tick_loop.json so the repo carries a pinned
- * baseline of both speedups, plus the tick-loop self-profile
- * (HETSIM_PROFILE instrumentation: per-component wall clock and
- * poll/useful-work counters).
+ * baseline of the speedups, plus the main-loop self-profile
+ * (HETSIM_PROFILE instrumentation: per-component wall clock,
+ * poll/useful-work counters and per-group event counts).
  */
 
 #include <chrono>
@@ -47,7 +55,23 @@ struct TickRate
     double seconds = 0;
     std::uint64_t ticks = 0;    ///< simulated ticks advanced
     std::uint64_t stepped = 0;  ///< ticks executed one by one
+    std::uint64_t coreEvents = 0;
+    std::uint64_t hierEvents = 0;
+    std::uint64_t backendEvents = 0;
+    unsigned cores = 0;
     double ticksPerSec() const { return ticks / seconds; }
+    std::uint64_t
+    events() const
+    {
+        return coreEvents + hierEvents + backendEvents;
+    }
+    double eventsPerSec() const { return events() / seconds; }
+};
+
+enum class LoopMode : std::uint8_t {
+    TickSerial, ///< tick engine, fast-forward off (pre-PR 3 reference)
+    TickFF,     ///< tick engine + skipAhead()
+    Event,      ///< discrete-event engine
 };
 
 /** Best wall clock over a few repetitions; the single-run times here
@@ -65,16 +89,48 @@ bestOf(unsigned reps, Fn &&measure)
     return best;
 }
 
-/** Run one golden-shaped system to completion and report tick rates. */
+/**
+ * Pure dependent pointer-chase microbenchmark: every load is a
+ * dependent DRAM miss, so the core sleeps through each full miss
+ * latency (pointer-chase dispatch stall, then ROB-full) and the channel
+ * powers down between misses.  This is the idle-heavy extreme the
+ * discrete-event engine exists for — the suite's calibrated profiles
+ * all keep their cores fed from the caches most cycles.
+ */
+const workloads::BenchmarkProfile &
+chaseAloneProfile()
+{
+    static const workloads::BenchmarkProfile profile = [] {
+        workloads::BenchmarkProfile p;
+        p.name = "chase_alone";
+        p.suiteName = "micro";
+        p.memFraction = 0.5;
+        p.writeFraction = 0.0;
+        workloads::PatternSpec s;
+        s.kind = workloads::PatternSpec::Kind::Chase;
+        s.weight = 1.0;
+        s.windowBytes = 512ULL << 20; // far beyond the 4 MB L2
+        p.patterns = {s};
+        p.notes = "serialised cold misses; cores and channels quiescent "
+                  "for almost every cycle";
+        return p;
+    }();
+    return profile;
+}
+
+/** Run one system to completion and report tick rates. */
 TickRate
-measureSystemOnce(bool fast_forward)
+measureSystemOnce(LoopMode mode, MemConfig mem,
+                  const workloads::BenchmarkProfile &profile,
+                  unsigned cores = kGoldenCores)
 {
     SystemParams params;
-    params.mem = MemConfig::CwfRL;
+    params.mem = mem;
     params.seed = kGoldenSeed;
-    const auto &profile = workloads::suite::byName(kGoldenBenchmark);
-    System system(params, profile, kGoldenCores);
-    system.setFastForward(fast_forward);
+    System system(params, profile, cores);
+    system.setEngine(mode == LoopMode::Event ? Engine::Event
+                                             : Engine::Tick);
+    system.setFastForward(mode == LoopMode::TickFF);
 
     const auto start = std::chrono::steady_clock::now();
     (void)runSimulation(system, goldenRunConfig());
@@ -82,6 +138,10 @@ measureSystemOnce(bool fast_forward)
     r.seconds = secondsSince(start);
     r.ticks = static_cast<std::uint64_t>(system.now());
     r.stepped = system.tickCalls();
+    r.coreEvents = system.coreEvents();
+    r.hierEvents = system.hierarchyEvents();
+    r.backendEvents = system.backendEvents();
+    r.cores = system.activeCores();
     return r;
 }
 
@@ -109,8 +169,9 @@ measureSelfProfile()
 
 /** Wall clock of the six-config mcf golden sweep through the runner. */
 double
-measureSweep(unsigned jobs, bool fast_forward)
+measureSweep(unsigned jobs, bool fast_forward, const char *engine)
 {
+    setenv("HETSIM_ENGINE", engine, 1);
     setenv("HETSIM_FASTFWD", fast_forward ? "1" : "0", 1);
     ExperimentRunner runner(jobs);
     std::vector<RunSpec> specs;
@@ -123,6 +184,7 @@ measureSweep(unsigned jobs, bool fast_forward)
     runner.prefetch(specs);
     const double s = secondsSince(start);
     setenv("HETSIM_FASTFWD", "1", 1);
+    unsetenv("HETSIM_ENGINE");
     return s;
 }
 
@@ -194,28 +256,97 @@ main()
 
     const unsigned jobs = ThreadPool::jobsFromEnv();
 
-    // ---- part 1: single-system tick loop ----
-    const TickRate serial =
-        bestOf(5, [] { return measureSystemOnce(false); });
-    const TickRate ff = bestOf(5, [] { return measureSystemOnce(true); });
-    const double tick_speedup = ff.ticksPerSec() / serial.ticksPerSec();
-    const double skipped_frac =
-        1.0 - static_cast<double>(ff.stepped) /
-                  static_cast<double>(ff.ticks);
+    // ---- part 1: single-system main loop, engine comparison ----
+    const auto &golden_profile = workloads::suite::byName(kGoldenBenchmark);
+    const TickRate serial = bestOf(5, [&] {
+        return measureSystemOnce(LoopMode::TickSerial, MemConfig::CwfRL,
+                                 golden_profile);
+    });
+    const TickRate ff = bestOf(5, [&] {
+        return measureSystemOnce(LoopMode::TickFF, MemConfig::CwfRL,
+                                 golden_profile);
+    });
+    const TickRate ev = bestOf(5, [&] {
+        return measureSystemOnce(LoopMode::Event, MemConfig::CwfRL,
+                                 golden_profile);
+    });
+    const double ff_speedup = ff.ticksPerSec() / serial.ticksPerSec();
+    const double ev_speedup = ev.ticksPerSec() / serial.ticksPerSec();
 
-    Table t1({"mode", "ticks", "stepped", "seconds", "ticks/sec"});
-    t1.addRow({"per-tick", std::to_string(serial.ticks),
+    // Per-group polled-cycle fraction: on what share of simulated
+    // cycles did the event engine actually run a component of that
+    // group?  (The tick loop's answer is 1.0 everywhere by
+    // construction — that is the cost the event queue removes.)
+    const double sim_ticks = static_cast<double>(ev.ticks);
+    const double polled_cores =
+        static_cast<double>(ev.coreEvents) /
+        (sim_ticks * static_cast<double>(ev.cores));
+    const double polled_hier = static_cast<double>(ev.hierEvents) /
+                               sim_ticks;
+    const double polled_backend =
+        static_cast<double>(ev.backendEvents) / sim_ticks;
+
+    Table t1({"engine", "ticks", "stepped", "seconds", "ticks/sec"});
+    t1.addRow({"tick (per-tick)", std::to_string(serial.ticks),
                std::to_string(serial.stepped),
                Table::num(serial.seconds, 3),
                Table::num(serial.ticksPerSec() / 1e6, 2) + "M"});
-    t1.addRow({"fast-forward", std::to_string(ff.ticks),
+    t1.addRow({"tick+fastfwd", std::to_string(ff.ticks),
                std::to_string(ff.stepped), Table::num(ff.seconds, 3),
                Table::num(ff.ticksPerSec() / 1e6, 2) + "M"});
+    t1.addRow({"event", std::to_string(ev.ticks),
+               std::to_string(ev.stepped), Table::num(ev.seconds, 3),
+               Table::num(ev.ticksPerSec() / 1e6, 2) + "M"});
     bench::printTableAndCsv(t1);
-    std::cout << "\nfast-forward skipped "
-              << Table::percent(skipped_frac)
-              << " of simulated ticks; ticks/sec speedup "
-              << Table::num(tick_speedup, 2) << "x\n\n";
+    std::cout << "\nevent engine: "
+              << Table::num(ev.eventsPerSec() / 1e6, 2)
+              << "M events/sec; speedup vs per-tick "
+              << Table::num(ev_speedup, 2) << "x (fast-forward "
+              << Table::num(ff_speedup, 2)
+              << "x); polled-cycle fraction cores "
+              << Table::percent(polled_cores) << ", hierarchy "
+              << Table::percent(polled_hier) << ", backend "
+              << Table::percent(polled_backend) << "\n\n";
+
+    // ---- part 1a: idle-heavy configuration ----
+    // One pointer-chasing core alone on the HMC-like cube (the paper's
+    // IPC_alone measurement shape, taken to the memory-bound extreme):
+    // serialised dependent misses keep the core asleep for each full
+    // SerDes round trip, and at most one of the sixteen vaults is ever
+    // active, so almost every cycle is quiescent for every component.
+    // This is where pop-next-event beats poll-everything hardest —
+    // tickDue() skips the fifteen idle vaults outright and their
+    // residency integrates through the closed-form fastForward() path.
+    const TickRate idle_serial = bestOf(3, [] {
+        return measureSystemOnce(LoopMode::TickSerial, MemConfig::HmcCdf,
+                                 chaseAloneProfile(), 1);
+    });
+    const TickRate idle_ev = bestOf(3, [] {
+        return measureSystemOnce(LoopMode::Event, MemConfig::HmcCdf,
+                                 chaseAloneProfile(), 1);
+    });
+    const double idle_speedup =
+        idle_ev.ticksPerSec() / idle_serial.ticksPerSec();
+
+    Table ti({"engine", "ticks", "stepped", "seconds", "ticks/sec"});
+    ti.addRow({"tick (per-tick)", std::to_string(idle_serial.ticks),
+               std::to_string(idle_serial.stepped),
+               Table::num(idle_serial.seconds, 3),
+               Table::num(idle_serial.ticksPerSec() / 1e6, 2) + "M"});
+    ti.addRow({"event", std::to_string(idle_ev.ticks),
+               std::to_string(idle_ev.stepped),
+               Table::num(idle_ev.seconds, 3),
+               Table::num(idle_ev.ticksPerSec() / 1e6, 2) + "M"});
+    bench::printTableAndCsv(ti);
+    const double idle_event_fraction =
+        static_cast<double>(idle_ev.events()) /
+        (static_cast<double>(idle_ev.ticks) *
+         static_cast<double>(idle_ev.cores + 2));
+    std::cout << "\nidle-heavy (chase_alone on HMC-CDF, 1 core) "
+                 "event-engine speedup vs per-tick "
+              << Table::num(idle_speedup, 2)
+              << "x; component-tick fraction "
+              << Table::percent(idle_event_fraction) << "\n\n";
 
     // ---- part 1b: tick-loop self-profile ----
     const ProfiledRun prof = measureSelfProfile();
@@ -265,14 +396,15 @@ main()
               << Table::num(dq_speedup, 2) << "x\n\n";
 
     // ---- part 3: six-config mcf golden sweep ----
-    const double sweep_serial = measureSweep(1, false); // pre-PR path
-    const double sweep_fast = measureSweep(jobs, true);
+    // pre-PR path: serial runner, tick engine, no fast-forward
+    const double sweep_serial = measureSweep(1, false, "tick");
+    const double sweep_fast = measureSweep(jobs, true, "event");
     const double sweep_speedup = sweep_serial / sweep_fast;
 
     Table t2({"engine", "jobs", "fast-forward", "seconds"});
     t2.addRow({"pre-PR serial", "1", "off",
                Table::num(sweep_serial, 3)});
-    t2.addRow({"parallel+ff", std::to_string(jobs), "on",
+    t2.addRow({"parallel+event", std::to_string(jobs), "on",
                Table::num(sweep_fast, 3)});
     bench::printTableAndCsv(t2);
     std::cout << "\nsix-config mcf sweep speedup "
@@ -284,13 +416,33 @@ main()
     json.precision(4);
     json << "{\n"
          << "  \"tick_loop\": {\n"
-         << "    \"ticks\": " << ff.ticks << ",\n"
+         << "    \"ticks\": " << ev.ticks << ",\n"
          << "    \"serial_ticks_per_sec\": " << serial.ticksPerSec()
          << ",\n"
          << "    \"fastforward_ticks_per_sec\": " << ff.ticksPerSec()
          << ",\n"
-         << "    \"skipped_tick_fraction\": " << skipped_frac << ",\n"
-         << "    \"speedup\": " << tick_speedup << "\n"
+         << "    \"event_ticks_per_sec\": " << ev.ticksPerSec()
+         << ",\n"
+         << "    \"events_per_sec\": " << ev.eventsPerSec() << ",\n"
+         << "    \"fastforward_speedup\": " << ff_speedup << ",\n"
+         << "    \"event_speedup\": " << ev_speedup << ",\n"
+         << "    \"polled_cycle_fraction\": {\n"
+         << "      \"cores\": " << polled_cores << ",\n"
+         << "      \"hierarchy\": " << polled_hier << ",\n"
+         << "      \"backend\": " << polled_backend << "\n"
+         << "    }\n"
+         << "  },\n"
+         << "  \"idle_heavy\": {\n"
+         << "    \"config\": \"hmc_cdf\",\n"
+         << "    \"workload\": \"chase_alone\",\n"
+         << "    \"active_cores\": 1,\n"
+         << "    \"events\": " << idle_ev.events() << ",\n"
+         << "    \"ticks\": " << idle_ev.ticks << ",\n"
+         << "    \"serial_ticks_per_sec\": "
+         << idle_serial.ticksPerSec() << ",\n"
+         << "    \"event_ticks_per_sec\": " << idle_ev.ticksPerSec()
+         << ",\n"
+         << "    \"event_speedup\": " << idle_speedup << "\n"
          << "  },\n"
          << "  \"deep_queue\": {\n"
          << "    \"queue_depth\": 32,\n"

@@ -137,6 +137,7 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
             core, slot, static_cast<std::uint8_t>(word), now});
     }
 
+    downstreamArms_ += 1;
     backend_.requestFill(
         cwf::MemoryBackend::FillRequest{line, word, false, core, entry->id},
         now);
@@ -168,6 +169,7 @@ Hierarchy::trainAndPrefetch(std::uint8_t core, Addr line_addr, Tick now)
             backend_.plannedCriticalWord(target, 0, /*is_demand=*/false);
         stats_.prefetchIssued.inc();
         prefetcher_.noteIssued();
+        downstreamArms_ += 1;
         backend_.requestFill(cwf::MemoryBackend::FillRequest{
                                  target, 0, true, core, entry->id},
                              now);
@@ -341,6 +343,7 @@ Hierarchy::queueWriteback(Addr line_addr)
 {
     sim_assert(pendingWritebacks_.size() < 4096,
                "writeback queue runaway");
+    downstreamArms_ += 1;
     pendingWritebacks_.push_back(line_addr);
 }
 

@@ -92,6 +92,16 @@ class Hierarchy
      *  queue frees up only at one of the backend's own events). */
     Tick nextEventTick(Tick now) const;
 
+    /**
+     * Monotonic count of downstream-arming mutations: fill requests
+     * handed to the backend and writebacks queued for draining.  These
+     * are the only paths through which a core's tick can change this
+     * hierarchy's or the backend's nextEventTick(), so the event engine
+     * compares this counter across a core tick and skips the downstream
+     * re-arms when it is unchanged.
+     */
+    std::uint64_t downstreamArms() const { return downstreamArms_; }
+
     // ---- statistics ----
     struct HierStats
     {
@@ -182,6 +192,7 @@ class Hierarchy
 
     std::deque<Addr> pendingWritebacks_;
     std::vector<Addr> prefetchScratch_;
+    std::uint64_t downstreamArms_ = 0;
 
     HierStats stats_;
     std::unordered_map<Addr, LineHist> lineCriticality_;

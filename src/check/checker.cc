@@ -77,6 +77,8 @@ toString(Rule rule)
         return "mshr_leak";
       case Rule::PhaseLedger:
         return "phase_ledger";
+      case Rule::EventQueue:
+        return "event_queue";
     }
     return "?";
 }
@@ -833,6 +835,35 @@ Checker::hmcDelivery(const void *domain, std::uint64_t id, bool critical,
                     std::to_string(it->second));
     }
     hmcCritical_.erase(it);
+}
+
+// --------------------------------------------------------------------
+// Event-engine wake-up contract
+// --------------------------------------------------------------------
+
+void
+Checker::eventSchedule(const char *kind, std::size_t slot, Tick at,
+                       Tick now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::EventQueue, now,
+            std::string(kind) + " slot " + std::to_string(slot),
+            "event armed in the past: at " + std::to_string(at) +
+                " < now " + std::to_string(now));
+}
+
+void
+Checker::eventOversleep(const char *kind, std::size_t slot, Tick now,
+                        Tick scheduled, Tick fresh)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::EventQueue, now,
+            std::string(kind) + " slot " + std::to_string(slot),
+            "component would oversleep: scheduled wake " +
+                (scheduled == kTickNever ? std::string("never")
+                                         : std::to_string(scheduled)) +
+                " but nextEventTick(" + std::to_string(now) + ") = " +
+                std::to_string(fresh));
 }
 
 // --------------------------------------------------------------------

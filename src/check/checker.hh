@@ -39,6 +39,7 @@
 #define HETSIM_CHECK_CHECKER_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -81,6 +82,7 @@ enum class Rule : std::uint8_t {
     HmcOrder,        ///< bulk packet delivered at/before its critical packet
     MshrLeak,        ///< MSHR entry never drained (finalizeAll)
     PhaseLedger,     ///< phase ledger does not partition [enqueue, complete]
+    EventQueue,      ///< event armed in the past / component overslept
 };
 
 const char *toString(Rule rule);
@@ -181,6 +183,18 @@ class Checker
     // ---- HMC packet ordering ----
     void hmcDelivery(const void *domain, std::uint64_t id, bool critical,
                      Tick at);
+
+    // ---- event-engine wake-up contract (stateless) ----
+    /** A component armed an event at @p at while the engine already sat
+     *  at @p now: the wake-up is unprocessable as scheduled. */
+    void eventSchedule(const char *kind, std::size_t slot, Tick at,
+                       Tick now);
+    /** A component slept to @p scheduled although its own nextEventTick
+     *  (re-evaluated at @p now with state caught up) says it could act
+     *  at @p fresh < scheduled: a missed deadline the event engine
+     *  would have silently skipped over. */
+    void eventOversleep(const char *kind, std::size_t slot, Tick now,
+                        Tick scheduled, Tick fresh);
 
     Checker(const Checker &) = delete;
     Checker &operator=(const Checker &) = delete;
@@ -392,6 +406,19 @@ inline void
 onHmcDelivery(const void *domain, std::uint64_t id, bool critical, Tick at)
 {
     HETSIM_CHECK_HOOK(hmcDelivery(domain, id, critical, at));
+}
+
+inline void
+onEventSchedule(const char *kind, std::size_t slot, Tick at, Tick now)
+{
+    HETSIM_CHECK_HOOK(eventSchedule(kind, slot, at, now));
+}
+
+inline void
+onEventOversleep(const char *kind, std::size_t slot, Tick now,
+                 Tick scheduled, Tick fresh)
+{
+    HETSIM_CHECK_HOOK(eventOversleep(kind, slot, now, scheduled, fresh));
 }
 
 } // namespace hetsim::check

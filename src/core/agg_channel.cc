@@ -39,6 +39,22 @@ AggregatedFastChannel::tick(Tick now)
     rotate_ = (rotate_ + 1) % n;
 }
 
+void
+AggregatedFastChannel::tickDue(Tick now)
+{
+    // Same rotation trajectory as tick() — only provably-inert
+    // sub-channels are skipped, and the rotation counter advances once
+    // per call either way.
+    const unsigned n = subChannels();
+    for (unsigned i = 0; i < n; ++i) {
+        dram::Channel &sub = *subs_[(rotate_ + i) % n];
+        if (sub.nextEventTick(now) > now)
+            continue;
+        sub.tick(now);
+    }
+    rotate_ = (rotate_ + 1) % n;
+}
+
 Tick
 AggregatedFastChannel::nextEventTick(Tick now) const
 {

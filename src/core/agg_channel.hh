@@ -55,6 +55,10 @@ class AggregatedFastChannel
      *  memory cycle so shared-bus grants stay fair. */
     void tick(Tick now);
 
+    /** tick(), minus sub-channels whose nextEventTick() is not yet
+     *  due; the fairness rotation still advances once per call. */
+    void tickDue(Tick now);
+
     /** Earliest tick >= now any sub-channel can change state. */
     Tick nextEventTick(Tick now) const;
 

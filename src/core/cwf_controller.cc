@@ -247,6 +247,17 @@ CwfHeteroMemory::tick(Tick now)
     fast_.tick(now);
 }
 
+void
+CwfHeteroMemory::tickDue(Tick now)
+{
+    for (auto &chan : slow_) {
+        if (chan->nextEventTick(now) > now)
+            continue;
+        chan->tick(now);
+    }
+    fast_.tickDue(now);
+}
+
 Tick
 CwfHeteroMemory::nextEventTick(Tick now) const
 {

@@ -139,6 +139,17 @@ HomogeneousMemory::tick(Tick now)
         chan->tick(now);
 }
 
+void
+HomogeneousMemory::tickDue(Tick now)
+{
+    lastNow_ = now;
+    for (auto &chan : channels_) {
+        if (chan->nextEventTick(now) > now)
+            continue; // inert this cycle; fastForward() integrates it
+        chan->tick(now);
+    }
+}
+
 Tick
 HomogeneousMemory::nextEventTick(Tick now) const
 {
@@ -347,6 +358,18 @@ PagePlacementMemory::tick(Tick now)
     for (auto &chan : slow_)
         chan->tick(now);
     fastChannel_->tick(now);
+}
+
+void
+PagePlacementMemory::tickDue(Tick now)
+{
+    for (auto &chan : slow_) {
+        if (chan->nextEventTick(now) > now)
+            continue;
+        chan->tick(now);
+    }
+    if (fastChannel_->nextEventTick(now) <= now)
+        fastChannel_->tick(now);
 }
 
 Tick

@@ -74,6 +74,7 @@ class HomogeneousMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    void tickDue(Tick now) override;
     Tick nextEventTick(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
     bool idle() const override;
@@ -137,6 +138,7 @@ class CwfHeteroMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    void tickDue(Tick now) override;
     Tick nextEventTick(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
     bool idle() const override;
@@ -223,6 +225,7 @@ class PagePlacementMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    void tickDue(Tick now) override;
     Tick nextEventTick(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
     bool idle() const override;

@@ -156,6 +156,23 @@ HmcLikeMemory::tick(Tick now)
 {
     for (auto &vault : vaults_)
         vault->tick(now);
+    drainDeliveries(now);
+}
+
+void
+HmcLikeMemory::tickDue(Tick now)
+{
+    for (auto &vault : vaults_) {
+        if (vault->nextEventTick(now) > now)
+            continue;
+        vault->tick(now);
+    }
+    drainDeliveries(now);
+}
+
+void
+HmcLikeMemory::drainDeliveries(Tick now)
+{
     while (!deliveries_.empty() && deliveries_.top().at <= now) {
         const Delivery d = deliveries_.top();
         deliveries_.pop();

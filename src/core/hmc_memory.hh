@@ -105,6 +105,7 @@ class HmcLikeMemory : public MemoryBackend
     bool canAcceptWriteback(Addr line_addr) const override;
     void requestWriteback(Addr line_addr, Tick now) override;
     void tick(Tick now) override;
+    void tickDue(Tick now) override;
     Tick nextEventTick(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
     bool idle() const override;
@@ -138,6 +139,7 @@ class HmcLikeMemory : public MemoryBackend
     };
 
     void onVaultResponse(dram::MemRequest &req);
+    void drainDeliveries(Tick now);
 
     Params params_;
     dram::AddressMap map_;

@@ -78,6 +78,18 @@ class MemoryBackend
     virtual void tick(Tick now) = 0;
 
     /**
+     * Event-engine variant of tick(): advance only the sub-components
+     * whose own nextEventTick(now) is due.  A skipped channel is
+     * provably inert this cycle (the fast-forward contract), so its
+     * per-cycle residency accounting can be integrated later by
+     * fastForward() — the event engine always catches the backend up
+     * before the next due tick and before any stat harvest.  Must be
+     * behaviour-identical to tick(); the default simply polls
+     * everything.
+     */
+    virtual void tickDue(Tick now) { tick(now); }
+
+    /**
      * Earliest tick >= now at which tick() may change any state or
      * deliver any callback, given the state left by the last tick().
      * The estimate must never be late (skipping every tick strictly
@@ -88,9 +100,15 @@ class MemoryBackend
     virtual Tick nextEventTick(Tick now) const { return now; }
 
     /**
-     * Integrate the skipped global ticks [from, to) into any per-tick
-     * accounting (residency buckets, rotation counters).  Called only
-     * when to <= nextEventTick() across the whole system.
+     * Integrate the skipped ticks [from, to) into any per-tick
+     * accounting (residency buckets, rotation counters).  Callers
+     * guarantee the backend is quiescent over the whole interval: the
+     * tick engine's skipAhead() only jumps when every component's
+     * nextEventTick() clears `to`, and the event engine calls this
+     * lazily per component with `to` bounded by this backend's own
+     * armed wake-up (which is never late).  Splitting an interval into
+     * sub-ranges must be behaviour-identical to one call — the
+     * integration is closed-form and additive.
      */
     virtual void fastForward(Tick from, Tick to)
     {

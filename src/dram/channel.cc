@@ -301,7 +301,12 @@ Channel::fastForward(Tick to)
     for (auto &rank : ranks_)
         rank.accountIdleCycles(nextCycle_, cycleTicks_, cycles);
     nextCycle_ += cycles * cycleTicks_;
-    nextEventValid_ = false; // the cycle grid moved under the memo
+    // The nextEventTick memo survives: nextCycle_ moved by whole
+    // cycles so the grid phase is unchanged, every cached input is an
+    // absolute tick the skipped inert stretch cannot alter, and
+    // callers never forward past the armed wake-up — a cached answer
+    // can thus only be conservatively early, and tick() invalidates
+    // it the moment it comes due.
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,140 @@
+#include "sim/event_queue.hh"
+
+#include "check/checker.hh"
+#include "common/log.hh"
+
+namespace hetsim::sim
+{
+
+const char *
+toString(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Core:
+        return "core";
+      case EventKind::Hierarchy:
+        return "hierarchy";
+      case EventKind::Backend:
+        return "backend";
+    }
+    return "?";
+}
+
+void
+EventQueue::resize(std::size_t slots)
+{
+    heap_.clear();
+    heap_.reserve(slots);
+    pos_.assign(slots, kNoPos);
+    tick_.assign(slots, kTickNever);
+    kind_.assign(slots, EventKind::Core);
+}
+
+void
+EventQueue::schedule(std::size_t slot, Tick at, EventKind kind, Tick now)
+{
+    sim_assert(slot < pos_.size(), "event slot out of range");
+    if (at == kTickNever) {
+        cancel(slot);
+        return;
+    }
+    if (at < now) {
+        // An event in the past can never fire; losing it would silently
+        // drop simulated work.  Clamp to now (still processable this
+        // step) and let the validator flag the contract breach.
+        check::onEventSchedule(toString(kind), slot, at, now);
+        at = now;
+    }
+    kind_[slot] = kind;
+    if (pos_[slot] == kNoPos) {
+        tick_[slot] = at;
+        pos_[slot] = heap_.size();
+        heap_.push_back(slot);
+        siftUp(pos_[slot]);
+        return;
+    }
+    const Tick old = tick_[slot];
+    if (old == at)
+        return;
+    tick_[slot] = at;
+    if (at < old)
+        siftUp(pos_[slot]);
+    else
+        siftDown(pos_[slot]);
+}
+
+void
+EventQueue::cancel(std::size_t slot)
+{
+    sim_assert(slot < pos_.size(), "event slot out of range");
+    const std::size_t idx = pos_[slot];
+    if (idx == kNoPos)
+        return;
+    pos_[slot] = kNoPos;
+    tick_[slot] = kTickNever;
+    const std::size_t last = heap_.back();
+    heap_.pop_back();
+    if (idx == heap_.size())
+        return;
+    heap_[idx] = last;
+    pos_[last] = idx;
+    // The replacement may need to move either way relative to idx.
+    siftUp(idx);
+    siftDown(pos_[last]);
+}
+
+std::size_t
+EventQueue::popNext()
+{
+    sim_assert(!heap_.empty(), "popNext on empty event queue");
+    const std::size_t slot = heap_.front();
+    cancel(slot);
+    return slot;
+}
+
+void
+EventQueue::clear()
+{
+    for (std::size_t slot : heap_) {
+        pos_[slot] = kNoPos;
+        tick_[slot] = kTickNever;
+    }
+    heap_.clear();
+}
+
+void
+EventQueue::siftUp(std::size_t idx)
+{
+    while (idx > 0) {
+        const std::size_t parent = (idx - 1) / 2;
+        if (!before(heap_[idx], heap_[parent]))
+            break;
+        std::swap(heap_[idx], heap_[parent]);
+        pos_[heap_[idx]] = idx;
+        pos_[heap_[parent]] = parent;
+        idx = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t idx)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t best = idx;
+        const std::size_t l = 2 * idx + 1;
+        const std::size_t r = 2 * idx + 2;
+        if (l < n && before(heap_[l], heap_[best]))
+            best = l;
+        if (r < n && before(heap_[r], heap_[best]))
+            best = r;
+        if (best == idx)
+            break;
+        std::swap(heap_[idx], heap_[best]);
+        pos_[heap_[idx]] = idx;
+        pos_[heap_[best]] = best;
+        idx = best;
+    }
+}
+
+} // namespace hetsim::sim

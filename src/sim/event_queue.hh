@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Central event queue for the discrete-event engine (HETSIM_ENGINE=event).
+ *
+ * An indexed binary min-heap of (tick, slot) wake-ups, one pending entry
+ * per component slot.  Ordering is lexicographic on (tick, slot): the
+ * slot index encodes the legacy tick-loop component order (cores by id,
+ * then the cache hierarchy, then the memory backend), so draining all
+ * events due at tick T visits components in exactly the order the
+ * per-tick loop would have ticked them.  That tie-break is what makes
+ * the event engine bit-identical to the tick engine rather than merely
+ * statistically equivalent.
+ *
+ * Each slot holds at most one pending event; schedule() on an occupied
+ * slot is an O(log n) reschedule (the common case: a component re-arms
+ * its own wake-up after every tick).  cancel() removes a slot outright,
+ * and scheduling at kTickNever is treated as cancel — "I have no
+ * self-generated future work; only a cross-component event can revive
+ * me."
+ *
+ * Scheduling strictly in the past would silently lose simulated work,
+ * so schedule() takes the caller's current tick as a reference: a
+ * past-tick arm is clamped to `now` and, when the protocol validator is
+ * armed, reported as a Rule::EventQueue violation (see checker.hh).
+ */
+
+#ifndef HETSIM_SIM_EVENT_QUEUE_HH
+#define HETSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hetsim::sim
+{
+
+/** What kind of component owns a slot; carried for diagnostics (checker
+ *  messages, profiler attribution) — never for ordering decisions. */
+enum class EventKind : std::uint8_t {
+    Core,      ///< cpu::Core (slot == core id)
+    Hierarchy, ///< cache::Hierarchy writeback drain
+    Backend,   ///< cwf::MemoryBackend aggregate (channels/ranks/refresh/CWF)
+};
+
+const char *toString(EventKind kind);
+
+class EventQueue
+{
+  public:
+    static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+    explicit EventQueue(std::size_t slots = 0) { resize(slots); }
+
+    /** Reset to @p slots empty slots; drops every pending event. */
+    void resize(std::size_t slots);
+
+    std::size_t slots() const { return tick_.size(); }
+    std::size_t pending() const { return heap_.size(); }
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Arm (or re-arm) @p slot to fire at @p at.  @p now is the caller's
+     * current tick, used only to detect scheduling in the past: such an
+     * arm is clamped to @p now (and flagged to the checker), since an
+     * event before the current tick can never be processed.  Scheduling
+     * at kTickNever cancels the slot instead.
+     */
+    void schedule(std::size_t slot, Tick at, EventKind kind, Tick now);
+
+    /** Remove @p slot's pending event, if any. */
+    void cancel(std::size_t slot);
+
+    bool scheduled(std::size_t slot) const
+    {
+        return pos_[slot] != kNoPos;
+    }
+
+    /** Pending tick for @p slot, or kTickNever when not scheduled. */
+    Tick scheduledTick(std::size_t slot) const
+    {
+        return pos_[slot] == kNoPos ? kTickNever : tick_[slot];
+    }
+
+    EventKind kindOf(std::size_t slot) const { return kind_[slot]; }
+
+    /** Earliest pending tick, or kTickNever when empty. */
+    Tick nextTick() const
+    {
+        return heap_.empty() ? kTickNever : tick_[heap_.front()];
+    }
+
+    /** Pop and return the slot of the earliest (tick, slot) event.
+     *  Precondition: !empty(). */
+    std::size_t popNext();
+
+    /** Drop every pending event, keeping the slot count. */
+    void clear();
+
+  private:
+    bool before(std::size_t a, std::size_t b) const
+    {
+        return tick_[a] != tick_[b] ? tick_[a] < tick_[b] : a < b;
+    }
+    void siftUp(std::size_t idx);
+    void siftDown(std::size_t idx);
+
+    std::vector<std::size_t> heap_; ///< heap of slot indices
+    std::vector<std::size_t> pos_;  ///< slot -> heap index, kNoPos if idle
+    std::vector<Tick> tick_;        ///< slot -> pending tick
+    std::vector<EventKind> kind_;   ///< slot -> owner kind
+};
+
+} // namespace hetsim::sim
+
+#endif // HETSIM_SIM_EVENT_QUEUE_HH

@@ -43,6 +43,9 @@ class Lines
 std::string
 renderReport(System &system, const RunResult &result)
 {
+    // Registry gauges read component state live: flush any lazy
+    // event-engine accounting before harvesting.
+    system.syncComponents();
     std::ostringstream os;
     Lines out(os);
 
@@ -124,6 +127,7 @@ renderReport(System &system, const RunResult &result)
 std::string
 renderReportJson(System &system, const RunResult &result)
 {
+    system.syncComponents();
     JsonWriter w;
     w.beginObject();
 

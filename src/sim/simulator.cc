@@ -15,6 +15,15 @@ runUntil(System &system, std::uint64_t target_reads, Tick max_ticks)
     const Tick deadline = system.now() + max_ticks;
     const auto &stats = system.hierarchy().stats();
     const std::uint64_t start = stats.demandCompletions.value();
+    if (system.engine() == Engine::Event) {
+        // Each step processes exactly the events of one simulated tick
+        // (or jumps to the deadline), leaving now() one past it — the
+        // same clock trajectory the tick loop below walks.
+        while (stats.demandCompletions.value() - start < target_reads &&
+               system.now() < deadline)
+            system.step(deadline);
+        return;
+    }
     while (stats.demandCompletions.value() - start < target_reads &&
            system.now() < deadline) {
         system.tick();
@@ -46,18 +55,26 @@ runSimulation(System &system, const RunConfig &config)
         const Tick deadline = system.now() + config.maxMeasureTicks;
         std::uint64_t next_sample = config.statsWindowEvery;
         std::uint64_t done = 0;
+        const bool event = system.engine() == Engine::Event;
         while (done < config.measureReads && system.now() < deadline) {
-            system.tick();
+            if (event)
+                system.step(deadline);
+            else
+                system.tick();
             done = stats.demandCompletions.value() - start;
             if (done >= next_sample) {
                 r.windows.push_back(WindowSample{
                     done, system.now(), system.aggregateIpc()});
                 next_sample += config.statsWindowEvery;
             }
-            if (done < config.measureReads)
+            if (!event && done < config.measureReads)
                 system.skipAhead(deadline);
         }
     }
+    // The event engine integrates skipped intervals lazily; flush the
+    // accounting so residency-derived results (DRAM power, bus
+    // utilization) see every tick up to now().
+    system.syncComponents();
     const Tick now = system.now();
     r.windowTicks = now - system.windowStart();
     r.seconds = static_cast<double>(r.windowTicks) * dram::kTickNs * 1e-9;

@@ -6,10 +6,24 @@
 #include <cstring>
 #include <sstream>
 
+#include "check/checker.hh"
 #include "common/log.hh"
 
 namespace hetsim::sim
 {
+
+namespace
+{
+
+double
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 System::System(const SystemParams &params,
                const workloads::BenchmarkProfile &profile,
@@ -41,13 +55,22 @@ System::System(const SystemParams &params,
             [gen] { return gen->next(); }, *hierarchy_));
     }
 
+    // Wake and bulk-mark callbacks only fire from inside backend ticks
+    // (fragment/packet arrival).  Under the event engine the target
+    // core may be asleep with its stall interval not yet integrated, so
+    // the accounting is caught up through the current tick before the
+    // callback mutates ROB state, and the core re-armed after.
     hierarchy_->setWakeFn(
         [this](std::uint8_t core, std::uint16_t slot, Tick when) {
+            prepareCoreMutation(core);
             cores_.at(core)->wake(slot, when);
+            rearmCoreAfterMutation(core);
         });
     hierarchy_->setBulkMarkFn([this](std::uint8_t core,
                                      std::uint16_t slot) {
+        prepareCoreMutation(core);
         cores_.at(core)->markBulkWait(slot);
+        rearmCoreAfterMutation(core);
     });
 
     // All components live as long as the System, so registered stat
@@ -57,6 +80,12 @@ System::System(const SystemParams &params,
     hierarchy_->registerStats(statRegistry_);
     backend_->registerStats(statRegistry_);
 
+    events_.resize(activeCores_ + 2);
+    doneThrough_.assign(activeCores_ + 2, 0);
+
+    if (const char *env = std::getenv("HETSIM_ENGINE"))
+        engine_ = std::strcmp(env, "tick") == 0 ? Engine::Tick
+                                                : Engine::Event;
     if (const char *env = std::getenv("HETSIM_FASTFWD"))
         fastForward_ = std::strcmp(env, "0") != 0;
     if (const char *env = std::getenv("HETSIM_PROFILE"))
@@ -64,8 +93,27 @@ System::System(const SystemParams &params,
 }
 
 void
+System::setEngine(Engine engine)
+{
+    if (engine_ == engine)
+        return;
+    syncComponents();
+    primed_ = false;
+    events_.clear();
+    engine_ = engine;
+}
+
+void
 System::tick()
 {
+    if (primed_) [[unlikely]] {
+        // Mixed usage: a direct tick() while the event queue is armed.
+        // Flush lazy accounting and fall back to polling; the next
+        // step() re-primes from scratch.
+        syncComponents();
+        primed_ = false;
+        events_.clear();
+    }
     if (profiling_) [[unlikely]] {
         tickProfiled();
         return;
@@ -120,6 +168,11 @@ System::tickProfiled()
 void
 System::skipAhead(Tick limit)
 {
+    if (primed_) [[unlikely]] {
+        syncComponents();
+        primed_ = false;
+        events_.clear();
+    }
     if (!profiling_) [[likely]] {
         skipAheadImpl(limit);
         return;
@@ -161,18 +214,261 @@ System::skipAheadImpl(Tick limit)
     now_ = next;
 }
 
+// --------------------------------------------------------------------
+// Event engine
+// --------------------------------------------------------------------
+
+void
+System::primeEvents()
+{
+    for (std::size_t c = 0; c < activeCores_; ++c) {
+        doneThrough_[c] = now_;
+        rearm(c, cores_[c]->nextEventTick(now_), now_, EventKind::Core);
+    }
+    doneThrough_[hierSlot()] = now_;
+    rearm(hierSlot(), hierarchy_->nextEventTick(now_), now_,
+          EventKind::Hierarchy);
+    doneThrough_[backendSlot()] = now_;
+    rearm(backendSlot(), backend_->nextEventTick(now_), now_,
+          EventKind::Backend);
+    primed_ = true;
+}
+
+void
+System::step(Tick limit)
+{
+    if (engine_ != Engine::Event) {
+        tick();
+        skipAhead(limit);
+        return;
+    }
+    if (!primed_) [[unlikely]]
+        primeEvents();
+#ifndef HETSIM_DISABLE_CHECK
+    if (check::detail::g_checkEnabled) [[unlikely]]
+        auditWakeContract();
+#endif
+    const Tick at = events_.nextTick();
+    if (at >= limit) {
+        // Nothing can happen strictly before the limit: the whole gap
+        // is quiescent for every component (their wake-ups are never
+        // late), so jump straight there.  Accounting stays lazy.
+        if (limit != kTickNever && limit > now_) {
+            skippedTicks_ += limit - now_;
+            if (profiling_) [[unlikely]] {
+                selfProfile_.skipPolls += 1;
+                selfProfile_.skips += 1;
+            }
+            now_ = limit;
+        }
+        return;
+    }
+    sim_assert(at >= now_, "event queue fell behind the clock");
+    if (at > now_) {
+        skippedTicks_ += at - now_;
+        if (profiling_) [[unlikely]] {
+            selfProfile_.skipPolls += 1;
+            selfProfile_.skips += 1;
+        }
+        now_ = at;
+    }
+    processEventsAt(now_);
+    // Leave the clock one past the processed tick, exactly where a
+    // tick() at that cycle would have left it.
+    now_ += 1;
+    tickCalls_ += 1;
+    if (profiling_) [[unlikely]]
+        selfProfile_.ticks += 1;
+}
+
+void
+System::processEventsAt(Tick at)
+{
+    // Slot order reproduces the legacy loop: cores by id, hierarchy,
+    // backend.  Cross-component arms during the drain only ever target
+    // later slots at this tick (or anything at later ticks), so each
+    // slot runs at most once per tick, exactly like the tick loop.
+    while (!events_.empty() && events_.nextTick() <= at)
+        runSlot(events_.popNext(), at);
+}
+
+void
+System::runSlot(std::size_t slot, Tick at)
+{
+    using clock = std::chrono::steady_clock;
+    if (slot < activeCores_) {
+        cpu::Core &core = *cores_[slot];
+        catchUpCore(slot, at);
+        const std::uint64_t arms = hierarchy_->downstreamArms();
+        if (profiling_) [[unlikely]] {
+            selfProfile_.corePolls += 1;
+            if (core.nextEventTick(at) <= at)
+                selfProfile_.coreUseful += 1;
+            const auto t0 = clock::now();
+            core.tick(at);
+            selfProfile_.coresNs += nsSince(t0);
+        } else {
+            core.tick(at);
+        }
+        doneThrough_[slot] = at + 1;
+        coreEvents_ += 1;
+        rearm(slot, core.nextEventTick(at + 1), at + 1, EventKind::Core);
+        // Only a fill request or a queued writeback can move the
+        // downstream wake-ups (hierarchy.hh: downstreamArms); when the
+        // core tick armed neither, the standing schedule is still
+        // sound, so skip the recomputes.  Events already due at this
+        // tick recompute when they run.
+        if (hierarchy_->downstreamArms() != arms) {
+            if (events_.scheduledTick(hierSlot()) > at)
+                rearm(hierSlot(), hierarchy_->nextEventTick(at), at,
+                      EventKind::Hierarchy);
+            if (events_.scheduledTick(backendSlot()) > at)
+                rearm(backendSlot(), backend_->nextEventTick(at), at,
+                      EventKind::Backend);
+        }
+        return;
+    }
+    if (slot == hierSlot()) {
+        if (profiling_) [[unlikely]] {
+            selfProfile_.hierPolls += 1;
+            if (hierarchy_->nextEventTick(at) <= at)
+                selfProfile_.hierUseful += 1;
+            const auto t0 = clock::now();
+            hierarchy_->tick(at);
+            selfProfile_.hierarchyNs += nsSince(t0);
+        } else {
+            hierarchy_->tick(at);
+        }
+        doneThrough_[slot] = at + 1;
+        hierEvents_ += 1;
+        rearm(hierSlot(), hierarchy_->nextEventTick(at + 1), at + 1,
+              EventKind::Hierarchy);
+        // Drained writebacks become backend work at this very tick.
+        if (events_.scheduledTick(backendSlot()) > at)
+            rearm(backendSlot(), backend_->nextEventTick(at), at,
+                  EventKind::Backend);
+        return;
+    }
+    catchUpBackend(at);
+    if (profiling_) [[unlikely]] {
+        selfProfile_.backendPolls += 1;
+        if (backend_->nextEventTick(at) <= at)
+            selfProfile_.backendUseful += 1;
+        const auto t0 = clock::now();
+        backend_->tickDue(at);
+        selfProfile_.backendNs += nsSince(t0);
+    } else {
+        backend_->tickDue(at);
+    }
+    doneThrough_[slot] = at + 1;
+    backendEvents_ += 1;
+    rearm(backendSlot(), backend_->nextEventTick(at + 1), at + 1,
+          EventKind::Backend);
+    // Completions may have freed writeback-queue admission; the
+    // hierarchy can next act when it ticks after this cycle.
+    rearm(hierSlot(), hierarchy_->nextEventTick(at + 1), at + 1,
+          EventKind::Hierarchy);
+}
+
+void
+System::catchUpCore(std::size_t idx, Tick to)
+{
+    Tick &done = doneThrough_[idx];
+    if (done < to) {
+        cores_[idx]->fastForward(done, to);
+        done = to;
+    }
+}
+
+void
+System::catchUpBackend(Tick to)
+{
+    // Unconditional: tickDue() leaves provably-inert channels behind
+    // their own internal cycle watermarks even when the backend slot
+    // itself has no tick gap, so every catch-up must offer the
+    // channels a forward to `to` (each no-ops when already current).
+    // `from` only drives closed-form rotation counters and is clamped
+    // to keep the interval well-formed.
+    Tick &done = doneThrough_[backendSlot()];
+    backend_->fastForward(std::min(done, to), to);
+    if (done < to)
+        done = to;
+}
+
+void
+System::prepareCoreMutation(std::size_t idx)
+{
+    if (engine_ != Engine::Event || !primed_)
+        return;
+    // The callback fires mid-tick at now_: the target core's own slot
+    // (earlier in the per-tick order than the backend delivering the
+    // wake) has already had its chance this tick, so its quiescent
+    // stall interval extends through now_ inclusive.
+    catchUpCore(idx, now_ + 1);
+}
+
+void
+System::rearmCoreAfterMutation(std::size_t idx)
+{
+    if (engine_ != Engine::Event || !primed_)
+        return;
+    rearm(idx, cores_[idx]->nextEventTick(now_ + 1), now_ + 1,
+          EventKind::Core);
+}
+
+void
+System::syncComponents()
+{
+    if (!primed_)
+        return;
+    for (std::size_t c = 0; c < activeCores_; ++c)
+        catchUpCore(c, now_);
+    doneThrough_[hierSlot()] = now_;
+    catchUpBackend(now_);
+}
+
+void
+System::auditWakeContract()
+{
+    // With every component caught up to now_, a slot's armed wake-up
+    // must not lie beyond what its own nextEventTick() now reports —
+    // otherwise the engine would sleep through real work.
+    syncComponents();
+    const auto audit = [this](std::size_t slot, Tick fresh,
+                              EventKind kind) {
+        const Tick clamped =
+            fresh == kTickNever ? kTickNever : std::max(fresh, now_);
+        const Tick scheduled = events_.scheduledTick(slot);
+        if (clamped < scheduled)
+            check::onEventOversleep(toString(kind), slot, now_, scheduled,
+                                    fresh);
+    };
+    for (std::size_t c = 0; c < activeCores_; ++c)
+        audit(c, cores_[c]->nextEventTick(now_), EventKind::Core);
+    audit(hierSlot(), hierarchy_->nextEventTick(now_),
+          EventKind::Hierarchy);
+    audit(backendSlot(), backend_->nextEventTick(now_),
+          EventKind::Backend);
+}
+
 std::string
 System::profileJson() const
 {
     const SelfProfile &p = selfProfile_;
     std::ostringstream os;
-    os << "{\"ticks\":" << p.ticks << ",\"skip_polls\":" << p.skipPolls
-       << ",\"skips\":" << p.skips << ",\"core_polls\":" << p.corePolls
+    os << "{\"engine\":\""
+       << (engine_ == Engine::Event ? "event" : "tick")
+       << "\",\"ticks\":" << p.ticks
+       << ",\"skip_polls\":" << p.skipPolls << ",\"skips\":" << p.skips
+       << ",\"core_polls\":" << p.corePolls
        << ",\"core_useful\":" << p.coreUseful
        << ",\"hierarchy_polls\":" << p.hierPolls
        << ",\"hierarchy_useful\":" << p.hierUseful
        << ",\"backend_polls\":" << p.backendPolls
-       << ",\"backend_useful\":" << p.backendUseful;
+       << ",\"backend_useful\":" << p.backendUseful
+       << ",\"core_events\":" << coreEvents_
+       << ",\"hierarchy_events\":" << hierEvents_
+       << ",\"backend_events\":" << backendEvents_;
     os.setf(std::ios::fixed);
     os.precision(3);
     os << ",\"cores_ms\":" << p.coresNs / 1e6
@@ -185,6 +481,7 @@ System::profileJson() const
 void
 System::resetStats()
 {
+    syncComponents();
     windowStart_ = now_;
     for (auto &core : cores_)
         core->resetStats(now_);

@@ -1,8 +1,21 @@
 /**
  * @file
  * Whole-system assembly: workload generators, cores, cache hierarchy and
- * the memory backend, wired together and advanced in lock-step on the
- * global CPU clock.
+ * the memory backend, wired together and advanced on the global CPU
+ * clock by one of two engines:
+ *
+ *  - Engine::Event (default, HETSIM_ENGINE=event): a discrete-event
+ *    loop.  Each component schedules its next wake-up in a central
+ *    EventQueue via its nextEventTick() contract; System::step() pops
+ *    the earliest (tick, slot) event, lazily integrates the skipped
+ *    quiescent interval with fastForward(), runs the owner's tick and
+ *    lets it (and anything it touched) re-arm.  Nothing is polled.
+ *
+ *  - Engine::Tick (HETSIM_ENGINE=tick): the legacy lock-step loop that
+ *    ticks every component every cycle (plus the optional whole-system
+ *    skipAhead() fast-forward).  Kept as the differential-testing
+ *    reference: both engines are bit-identical, event by event, stat by
+ *    stat — see DESIGN.md section 13 for the proof obligations.
  */
 
 #ifndef HETSIM_SIM_SYSTEM_HH
@@ -15,11 +28,19 @@
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "cpu/core.hh"
+#include "sim/event_queue.hh"
 #include "sim/system_config.hh"
 #include "workloads/suite.hh"
 
 namespace hetsim::sim
 {
+
+/** Main-loop flavour; see file header.  Both produce bit-identical
+ *  simulations — Tick survives as the differential-test reference. */
+enum class Engine : std::uint8_t {
+    Tick,  ///< poll every component every cycle (legacy reference)
+    Event, ///< central event queue, components re-arm their wake-ups
+};
 
 class System
 {
@@ -32,7 +53,9 @@ class System
            const workloads::BenchmarkProfile &profile,
            unsigned active_cores);
 
-    /** Advance one CPU cycle. */
+    /** Advance one CPU cycle by polling every component (legacy
+     *  engine's unit of progress; usable under either engine — the
+     *  event queue is re-primed on the next step()). */
     void tick();
 
     /**
@@ -45,28 +68,74 @@ class System
      */
     void skipAhead(Tick limit);
 
-    /** One tick() then skipAhead(): the event-driven replacement for a
-     *  bare tick() loop when no per-tick exit condition intervenes. */
+    /**
+     * Event-engine unit of progress: pop the earliest pending event
+     * strictly before @p limit, jump now() to it (integrating the
+     * skipped quiescent gap in closed form), run every owner due that
+     * tick in legacy component order and let each re-arm, then leave
+     * now() one past the processed tick — exactly where a tick() at
+     * that cycle would have left it.  With no event before @p limit,
+     * now() jumps to @p limit.  Under Engine::Tick this degrades to
+     * tick() + skipAhead(limit).
+     */
+    void step(Tick limit = kTickNever);
+
+    /** One unit of progress under the active engine: pop-next-event
+     *  (Engine::Event) or tick()+skipAhead() (Engine::Tick). */
     void
     advance(Tick limit = kTickNever)
     {
+        if (engine_ == Engine::Event) {
+            step(limit);
+            return;
+        }
         tick();
         skipAhead(limit);
     }
 
-    /** Idle-cycle fast-forward toggle (default from HETSIM_FASTFWD;
-     *  off = per-tick stepping, for A/B measurement and testing). */
+    /** Main-loop flavour (default from HETSIM_ENGINE, event unless
+     *  overridden).  Switching mid-run is safe: pending lazy
+     *  integration is flushed and the queue re-primed on demand. */
+    void setEngine(Engine engine);
+    Engine engine() const { return engine_; }
+
+    /** Idle-cycle fast-forward toggle for the tick engine (default from
+     *  HETSIM_FASTFWD; off = per-tick stepping, for A/B measurement and
+     *  testing).  The event engine never polls, so the knob is inert
+     *  there — skipping is inherent to the queue. */
     void setFastForward(bool on) { fastForward_ = on; }
     bool fastForwardEnabled() const { return fastForward_; }
 
     Tick now() const { return now_; }
 
-    /** Ticks executed by tick() since construction. */
+    /**
+     * Flush the lazy per-component accounting of the event engine up to
+     * now().  Stats-bearing state (dispatch stalls, ROB occupancy, rank
+     * residency, power) is only guaranteed current after this; report
+     * rendering, resetStats() and the legacy paths call it implicitly.
+     * No-op under Engine::Tick or when nothing is pending.
+     */
+    void syncComponents();
+
+    /** Ticks executed by tick()/step() since construction. */
     std::uint64_t tickCalls() const { return tickCalls_; }
 
-    /** Ticks jumped over by skipAhead() since construction; together
-     *  with tickCalls() this accounts for every tick of now(). */
+    /** Ticks jumped over by skipAhead()/step() since construction;
+     *  together with tickCalls() this accounts for every tick of
+     *  now(). */
     std::uint64_t skippedTicks() const { return skippedTicks_; }
+
+    /** Per-group counts of events processed by the event engine: each
+     *  is one component tick actually run (everything else was skipped
+     *  or integrated in closed form). */
+    std::uint64_t coreEvents() const { return coreEvents_; }
+    std::uint64_t hierarchyEvents() const { return hierEvents_; }
+    std::uint64_t backendEvents() const { return backendEvents_; }
+    std::uint64_t
+    eventsProcessed() const
+    {
+        return coreEvents_ + hierEvents_ + backendEvents_;
+    }
 
     unsigned activeCores() const { return activeCores_; }
     cpu::Core &core(unsigned i) { return *cores_.at(i); }
@@ -76,17 +145,20 @@ class System
     const workloads::BenchmarkProfile &profile() const { return profile_; }
 
     /**
-     * Host-side tick-loop self-profile (HETSIM_PROFILE=1, or
+     * Host-side main-loop self-profile (HETSIM_PROFILE=1, or
      * setProfiling).  Wall-clock per component plus poll/useful-work
      * counters: a poll is "useful" when the component's nextEventTick()
-     * says it can change state this tick.  Pure observation — the
-     * simulated behaviour and every report are unchanged.
+     * says it can change state this tick.  Under the event engine every
+     * component run is a poll (there are no blind polls), so the
+     * per-group poll counts divided by simulated ticks give the
+     * polled-cycle fraction.  Pure observation — the simulated
+     * behaviour and every report are unchanged.
      */
     struct SelfProfile
     {
-        std::uint64_t ticks = 0;     ///< profiled tick() calls
-        std::uint64_t skipPolls = 0; ///< skipAhead() attempts
-        std::uint64_t skips = 0;     ///< skipAhead() jumps taken
+        std::uint64_t ticks = 0;     ///< ticks processed while profiling
+        std::uint64_t skipPolls = 0; ///< skipAhead() / gap-jump attempts
+        std::uint64_t skips = 0;     ///< jumps taken
         std::uint64_t corePolls = 0;
         std::uint64_t coreUseful = 0;
         std::uint64_t hierPolls = 0;
@@ -103,7 +175,8 @@ class System
     bool profilingEnabled() const { return profiling_; }
     const SelfProfile &selfProfile() const { return selfProfile_; }
 
-    /** One-line JSON object rendering of selfProfile() (bench reports). */
+    /** One-line JSON object rendering of selfProfile() plus the engine
+     *  name and per-group event counts (bench reports). */
     std::string profileJson() const;
 
     /** Open a fresh measurement window at the current tick. */
@@ -125,6 +198,44 @@ class System
     void tickProfiled();
     void skipAheadImpl(Tick limit);
 
+    // ---- event engine ----
+    std::size_t hierSlot() const { return activeCores_; }
+    std::size_t backendSlot() const { return activeCores_ + 1; }
+
+    /** Arm every slot from its component's nextEventTick(now_) and mark
+     *  all lazy accounting current; step() calls this on demand. */
+    void primeEvents();
+
+    /** Run every event due at tick @p at, in slot order. */
+    void processEventsAt(Tick at);
+    void runSlot(std::size_t slot, Tick at);
+
+    /** Integrate core @p idx's quiescent interval [doneThrough, to). */
+    void catchUpCore(std::size_t idx, Tick to);
+    /** Integrate the backend's quiescent interval [doneThrough, to). */
+    void catchUpBackend(Tick to);
+
+    /** schedule() with a floor: components may answer conservatively
+     *  early (stale grids), never late; clamp keeps the queue sound. */
+    void
+    rearm(std::size_t slot, Tick at, Tick floor, EventKind kind)
+    {
+        if (at != kTickNever && at < floor)
+            at = floor;
+        events_.schedule(slot, at, kind, now_);
+    }
+
+    /** Called from the hierarchy's wake/bulk-mark callbacks (which only
+     *  fire inside backend ticks): integrate the core's stall interval
+     *  through the current tick before the callback mutates its ROB. */
+    void prepareCoreMutation(std::size_t idx);
+    /** Re-arm a core after a wake/bulk-mark callback mutated it. */
+    void rearmCoreAfterMutation(std::size_t idx);
+
+    /** Checker-armed audit: no component may sleep past what its own
+     *  nextEventTick() reports with state caught up to now(). */
+    void auditWakeContract();
+
     SystemParams params_;
     const workloads::BenchmarkProfile &profile_;
     unsigned activeCores_;
@@ -138,11 +249,22 @@ class System
 
     Tick now_ = 0;
     Tick windowStart_ = 0;
+    Engine engine_ = Engine::Event;
     bool fastForward_ = true;
     bool profiling_ = false;
     SelfProfile selfProfile_;
     std::uint64_t tickCalls_ = 0;
     std::uint64_t skippedTicks_ = 0;
+
+    EventQueue events_;
+    /** Per-slot "ticks strictly before this are fully accounted"
+     *  watermark; the gap up to a slot's next event is integrated
+     *  lazily, right before the component runs or is mutated. */
+    std::vector<Tick> doneThrough_;
+    bool primed_ = false;
+    std::uint64_t coreEvents_ = 0;
+    std::uint64_t hierEvents_ = 0;
+    std::uint64_t backendEvents_ = 0;
 };
 
 } // namespace hetsim::sim

@@ -236,7 +236,7 @@ struct CpiRun
 };
 
 CpiRun
-runCpiSystem(bool fast_forward, const char *sched)
+runCpiSystem(Engine engine, bool fast_forward, const char *sched)
 {
     setenv("HETSIM_SCHED", sched, 1);
     SystemParams p;
@@ -248,6 +248,7 @@ runCpiSystem(bool fast_forward, const char *sched)
     rc.warmupReads = 200;
 
     System system(p, profile, p.cores);
+    system.setEngine(engine);
     system.setFastForward(fast_forward);
     const RunResult r = runSimulation(system, rc);
     unsetenv("HETSIM_SCHED");
@@ -266,15 +267,19 @@ runCpiSystem(bool fast_forward, const char *sched)
     return out;
 }
 
-TEST(CpiStack, BucketsTileTheWindowAcrossModesAndSchedulers)
+TEST(CpiStack, BucketsTileTheWindowAcrossEnginesModesAndSchedulers)
 {
     auto &checker = Checker::instance();
     checker.enable(Mode::Collect);
 
+    // engine x fast-forward x scheduler: the full 8-combo sweep.  The
+    // CPI attribution (like the reports) must not see any of the knobs.
     std::vector<CpiRun> runs;
-    for (const bool ff : {false, true}) {
-        for (const char *sched : {"indexed", "linear"})
-            runs.push_back(runCpiSystem(ff, sched));
+    for (const Engine engine : {Engine::Tick, Engine::Event}) {
+        for (const bool ff : {false, true}) {
+            for (const char *sched : {"indexed", "linear"})
+                runs.push_back(runCpiSystem(engine, ff, sched));
+        }
     }
     EXPECT_TRUE(checker.violations().empty()) << checker.report();
     checker.disable();
@@ -292,8 +297,8 @@ TEST(CpiStack, BucketsTileTheWindowAcrossModesAndSchedulers)
                       0u);
         }
     }
-    // The attribution must be bit-identical across fast-forward on/off
-    // and scheduler implementation (same contract as the reports).
+    // The attribution must be bit-identical across engine, fast-forward
+    // on/off and scheduler implementation (same contract as the reports).
     for (std::size_t i = 1; i < runs.size(); ++i) {
         EXPECT_EQ(runs[i].windowTicks, runs[0].windowTicks);
         EXPECT_EQ(runs[i].stacks, runs[0].stacks) << "combo " << i;

@@ -60,6 +60,10 @@ TEST_P(FastForwardProperty, SkipAheadIsBitIdenticalToPerTickStepping)
                        std::uint64_t &stepped, std::uint64_t &skipped) {
         checker.enable(Mode::Collect);
         System system(p, profile, p.cores);
+        // This case verifies the tick engine's closed-form skip
+        // accounting specifically; the event engine gets its own
+        // differential case below.
+        system.setEngine(Engine::Tick);
         system.setFastForward(fast_forward);
         const RunResult r = runSimulation(system, rc);
         EXPECT_GT(r.demandReads, 0u);
@@ -85,6 +89,72 @@ TEST_P(FastForwardProperty, SkipAheadIsBitIdenticalToPerTickStepping)
     EXPECT_EQ(ff_stepped + ff_skipped, static_cast<std::uint64_t>(ff_end));
     EXPECT_EQ(serial_end, ff_end);
     EXPECT_EQ(serial_report, ff_report);
+}
+
+TEST_P(FastForwardProperty, EventEngineIsBitIdenticalToTickEngine)
+{
+    // The discrete-event engine must reproduce the tick engine's run
+    // bit for bit on every backend family — same final tick, same full
+    // stat report — while never polling: every simulated tick it does
+    // not process is accounted for by the lazy closed-form
+    // integration.  The validator stays armed so the event engine's
+    // wake-up audit (no component sleeps past its own nextEventTick)
+    // runs on every step.
+    const auto [mem, bench, seed] = GetParam();
+
+    SystemParams p;
+    p.mem = mem;
+    p.seed = seed;
+    if (mem == MemConfig::PagePlacement) {
+        for (std::uint64_t page = 0; page < 64; ++page)
+            p.hotPages.insert(page);
+    }
+    const auto &profile = workloads::suite::byName(bench);
+    RunConfig rc;
+    rc.measureReads = 600;
+    rc.warmupReads = 200;
+
+    auto &checker = Checker::instance();
+
+    auto runOnce = [&](Engine engine, Tick &end_tick,
+                       std::uint64_t &stepped, std::uint64_t &skipped,
+                       std::uint64_t &events) {
+        checker.enable(Mode::Collect);
+        System system(p, profile, p.cores);
+        system.setEngine(engine);
+        const RunResult r = runSimulation(system, rc);
+        EXPECT_GT(r.demandReads, 0u);
+        EXPECT_TRUE(checker.violations().empty()) << checker.report();
+        end_tick = system.now();
+        stepped = system.tickCalls();
+        skipped = system.skippedTicks();
+        events = system.eventsProcessed();
+        const std::string report = renderReportJson(system, r);
+        checker.disable();
+        return report;
+    };
+
+    Tick tick_end = 0, event_end = 0;
+    std::uint64_t tick_stepped = 0, tick_skipped = 0, tick_events = 0;
+    std::uint64_t ev_stepped = 0, ev_skipped = 0, ev_events = 0;
+    const std::string tick_report =
+        runOnce(Engine::Tick, tick_end, tick_stepped, tick_skipped,
+                tick_events);
+    const std::string event_report =
+        runOnce(Engine::Event, event_end, ev_stepped, ev_skipped,
+                ev_events);
+
+    EXPECT_EQ(tick_events, 0u);
+    EXPECT_GT(ev_events, 0u);
+    // Every tick of simulated time is either processed or jumped over.
+    EXPECT_EQ(ev_stepped + ev_skipped, static_cast<std::uint64_t>(event_end));
+    EXPECT_EQ(tick_end, event_end);
+    EXPECT_EQ(tick_report, event_report);
+    // The event engine must actually be event-driven: it processes
+    // fewer per-component ticks than the poll-everything loop would
+    // (activeCores + hierarchy + backend per cycle).
+    EXPECT_LT(ev_events,
+              static_cast<std::uint64_t>(event_end) * (p.cores + 2));
 }
 
 TEST(FastForwardLoaded, SkipsQuiescentStretchesWhileRequestsAreQueued)

@@ -95,6 +95,24 @@ TEST_P(GoldenRun, IdenticalSeedsAreBitIdentical)
                        "same-seed runs";
 }
 
+TEST_P(GoldenRun, EventAndTickEnginesAreBitIdentical)
+{
+    // The engine knob must be invisible in every golden artifact: the
+    // discrete-event run and the per-tick reference run produce the
+    // same digest AND the same full JSON report, byte for byte, with
+    // no re-bless.  (runGolden constructs its System fresh, so the
+    // knob is exercised exactly the way CI's engine sweep sets it.)
+    const GoldenSpec &spec = GetParam();
+    setenv("HETSIM_ENGINE", "event", 1);
+    const GoldenOutcome ev = runGolden(spec);
+    setenv("HETSIM_ENGINE", "tick", 1);
+    const GoldenOutcome tk = runGolden(spec);
+    unsetenv("HETSIM_ENGINE");
+    EXPECT_EQ(ev.digest, tk.digest) << spec.key;
+    EXPECT_EQ(ev.fullReport, tk.fullReport)
+        << spec.key << ": engines must be bit-identical";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PaperConfigs, GoldenRun, ::testing::ValuesIn(goldenSpecs()),
     [](const ::testing::TestParamInfo<GoldenSpec> &info) {
