@@ -27,8 +27,11 @@
  * poll/useful-work counters and per-group event counts).
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "bench_util.hh"
 #include "common/rng.hh"
@@ -255,21 +258,38 @@ main()
         "HETSIM_JOBS parallel sweep engine)");
 
     const unsigned jobs = ThreadPool::jobsFromEnv();
+    const unsigned detected_cpus =
+        std::max(1u, std::thread::hardware_concurrency());
+    // Quick mode (HETSIM_BENCH_QUICK=1): only the engine comparison,
+    // fewer repetitions — the shape CI's perf-smoke job asserts on.
+    const bool quick = [] {
+        const char *env = std::getenv("HETSIM_BENCH_QUICK");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }();
+    const unsigned reps = quick ? 3 : 5;
 
     // ---- part 1: single-system main loop, engine comparison ----
+    // The engines are interleaved inside each repetition (not timed as
+    // three contiguous blocks) so a slow spell on a loaded host lands
+    // on all of them alike instead of deflating whichever engine owned
+    // that window; best-of-N per engine then discards the jittered
+    // rounds for each independently.
     const auto &golden_profile = workloads::suite::byName(kGoldenBenchmark);
-    const TickRate serial = bestOf(5, [&] {
-        return measureSystemOnce(LoopMode::TickSerial, MemConfig::CwfRL,
-                                 golden_profile);
-    });
-    const TickRate ff = bestOf(5, [&] {
-        return measureSystemOnce(LoopMode::TickFF, MemConfig::CwfRL,
-                                 golden_profile);
-    });
-    const TickRate ev = bestOf(5, [&] {
-        return measureSystemOnce(LoopMode::Event, MemConfig::CwfRL,
-                                 golden_profile);
-    });
+    TickRate serial{}, ff{}, ev{};
+    for (unsigned i = 0; i < reps; ++i) {
+        const TickRate s = measureSystemOnce(
+            LoopMode::TickSerial, MemConfig::CwfRL, golden_profile);
+        const TickRate f = measureSystemOnce(
+            LoopMode::TickFF, MemConfig::CwfRL, golden_profile);
+        const TickRate e = measureSystemOnce(
+            LoopMode::Event, MemConfig::CwfRL, golden_profile);
+        if (i == 0 || s.seconds < serial.seconds)
+            serial = s;
+        if (i == 0 || f.seconds < ff.seconds)
+            ff = f;
+        if (i == 0 || e.seconds < ev.seconds)
+            ev = e;
+    }
     const double ff_speedup = ff.ticksPerSec() / serial.ticksPerSec();
     const double ev_speedup = ev.ticksPerSec() / serial.ticksPerSec();
 
@@ -307,6 +327,36 @@ main()
               << Table::percent(polled_cores) << ", hierarchy "
               << Table::percent(polled_hier) << ", backend "
               << Table::percent(polled_backend) << "\n\n";
+
+    std::ostringstream json;
+    json.setf(std::ios::fixed);
+    json.precision(4);
+    json << "{\n"
+         << "  \"tick_loop\": {\n"
+         << "    \"ticks\": " << ev.ticks << ",\n"
+         << "    \"serial_ticks_per_sec\": " << serial.ticksPerSec()
+         << ",\n"
+         << "    \"fastforward_ticks_per_sec\": " << ff.ticksPerSec()
+         << ",\n"
+         << "    \"event_ticks_per_sec\": " << ev.ticksPerSec()
+         << ",\n"
+         << "    \"events_per_sec\": " << ev.eventsPerSec() << ",\n"
+         << "    \"core_events\": " << ev.coreEvents << ",\n"
+         << "    \"fastforward_speedup\": " << ff_speedup << ",\n"
+         << "    \"event_speedup\": " << ev_speedup << ",\n"
+         << "    \"polled_cycle_fraction\": {\n"
+         << "      \"cores\": " << polled_cores << ",\n"
+         << "      \"hierarchy\": " << polled_hier << ",\n"
+         << "      \"backend\": " << polled_backend << "\n"
+         << "    }\n"
+         << "  }";
+
+    if (quick) {
+        json << "\n}";
+        std::cout << "\n--- bench json ---\n" << json.str()
+                  << "\n--- end bench json ---\n";
+        return 0;
+    }
 
     // ---- part 1a: idle-heavy configuration ----
     // One pointer-chasing core alone on the HMC-like cube (the paper's
@@ -396,7 +446,14 @@ main()
               << Table::num(dq_speedup, 2) << "x\n\n";
 
     // ---- part 3: six-config mcf golden sweep ----
-    // pre-PR path: serial runner, tick engine, no fast-forward
+    // pre-PR path: serial runner, tick engine, no fast-forward.
+    // On a single-CPU host the "parallel" run cannot overlap work, so
+    // the comparison degenerates into a worker-handoff overhead check —
+    // record the detected CPU count and label the run honestly instead
+    // of reporting a bogus sub-1x "parallel speedup".
+    const bool sweep_parallel = jobs > 1 && detected_cpus > 1;
+    const char *sweep_mode =
+        sweep_parallel ? "parallel" : "overhead_check";
     const double sweep_serial = measureSweep(1, false, "tick");
     const double sweep_fast = measureSweep(jobs, true, "event");
     const double sweep_speedup = sweep_serial / sweep_fast;
@@ -404,34 +461,16 @@ main()
     Table t2({"engine", "jobs", "fast-forward", "seconds"});
     t2.addRow({"pre-PR serial", "1", "off",
                Table::num(sweep_serial, 3)});
-    t2.addRow({"parallel+event", std::to_string(jobs), "on",
-               Table::num(sweep_fast, 3)});
+    t2.addRow({sweep_parallel ? "parallel+event"
+                              : "event (overhead check)",
+               std::to_string(jobs), "on", Table::num(sweep_fast, 3)});
     bench::printTableAndCsv(t2);
     std::cout << "\nsix-config mcf sweep speedup "
               << Table::num(sweep_speedup, 2) << "x with HETSIM_JOBS="
-              << jobs << "\n";
+              << jobs << " on " << detected_cpus
+              << " detected CPU(s) [" << sweep_mode << "]\n";
 
-    std::ostringstream json;
-    json.setf(std::ios::fixed);
-    json.precision(4);
-    json << "{\n"
-         << "  \"tick_loop\": {\n"
-         << "    \"ticks\": " << ev.ticks << ",\n"
-         << "    \"serial_ticks_per_sec\": " << serial.ticksPerSec()
-         << ",\n"
-         << "    \"fastforward_ticks_per_sec\": " << ff.ticksPerSec()
-         << ",\n"
-         << "    \"event_ticks_per_sec\": " << ev.ticksPerSec()
-         << ",\n"
-         << "    \"events_per_sec\": " << ev.eventsPerSec() << ",\n"
-         << "    \"fastforward_speedup\": " << ff_speedup << ",\n"
-         << "    \"event_speedup\": " << ev_speedup << ",\n"
-         << "    \"polled_cycle_fraction\": {\n"
-         << "      \"cores\": " << polled_cores << ",\n"
-         << "      \"hierarchy\": " << polled_hier << ",\n"
-         << "      \"backend\": " << polled_backend << "\n"
-         << "    }\n"
-         << "  },\n"
+    json << ",\n"
          << "  \"idle_heavy\": {\n"
          << "    \"config\": \"hmc_cdf\",\n"
          << "    \"workload\": \"chase_alone\",\n"
@@ -457,6 +496,8 @@ main()
          << "    \"configs\": 6,\n"
          << "    \"workload\": \"" << kGoldenBenchmark << "\",\n"
          << "    \"jobs\": " << jobs << ",\n"
+         << "    \"detected_cpus\": " << detected_cpus << ",\n"
+         << "    \"mode\": \"" << sweep_mode << "\",\n"
          << "    \"serial_seconds\": " << sweep_serial << ",\n"
          << "    \"parallel_ff_seconds\": " << sweep_fast << ",\n"
          << "    \"speedup\": " << sweep_speedup << "\n"

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json summaries, or assert floors on one.
+
+Diff mode:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.05]
+
+Walks both summaries and compares every numeric leaf whose key marks a
+throughput-like metric (``*_per_sec``, ``*speedup*``): a candidate value
+more than ``tolerance`` below the baseline is a regression.  Other
+numeric leaves (tick counts, fractions, wall-clock seconds) are reported
+informationally but never fail the diff — they describe the run shape,
+not how fast the simulator went.  Exits 1 if any regression is found.
+
+Assert mode (CI floors on a single file):
+    bench_compare.py --assert-min tick_loop.event_speedup=1.0 FILE.json
+
+``section.key`` paths use dots; repeat --assert-min for several floors.
+Exits 1 if any floor is violated.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys (leaf names) where smaller means slower: these gate the diff.
+THROUGHPUT_MARKERS = ("_per_sec", "speedup")
+
+
+def is_throughput_key(key):
+    return any(marker in key for marker in THROUGHPUT_MARKERS)
+
+
+def numeric_leaves(node, prefix=""):
+    """Yield (dotted_path, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            yield from numeric_leaves(value, path)
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+
+
+def lookup(node, dotted):
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    return node
+
+
+def diff(baseline_path, candidate_path, tolerance):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(candidate_path) as f:
+        candidate = json.load(f)
+
+    base = dict(numeric_leaves(baseline))
+    cand = dict(numeric_leaves(candidate))
+
+    regressions = []
+    for path in sorted(base.keys() & cand.keys()):
+        b, c = base[path], cand[path]
+        if b == 0:
+            continue
+        ratio = c / b
+        marker = ""
+        if is_throughput_key(path) and ratio < 1.0 - tolerance:
+            marker = "  << REGRESSION"
+            regressions.append(path)
+        elif not is_throughput_key(path):
+            marker = "  (info)"
+        print(f"{path}: {b:.4g} -> {c:.4g} ({ratio:+.1%} of baseline)"
+              f"{marker}")
+
+    for path in sorted(base.keys() - cand.keys()):
+        print(f"{path}: present only in baseline")
+    for path in sorted(cand.keys() - base.keys()):
+        print(f"{path}: present only in candidate")
+
+    if regressions:
+        print(f"\n{len(regressions)} throughput regression(s) beyond "
+              f"{tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nno throughput regressions beyond {tolerance:.0%}")
+    return 0
+
+
+def assert_min(path, floors):
+    with open(path) as f:
+        summary = json.load(f)
+    failed = []
+    for spec in floors:
+        dotted, _, floor_text = spec.partition("=")
+        if not floor_text:
+            print(f"bad --assert-min spec '{spec}' "
+                  f"(expected section.key=value)", file=sys.stderr)
+            return 2
+        floor = float(floor_text)
+        try:
+            actual = float(lookup(summary, dotted))
+        except KeyError:
+            print(f"{dotted}: missing from {path}")
+            failed.append(dotted)
+            continue
+        ok = actual >= floor
+        print(f"{dotted}: {actual:.4g} (floor {floor:.4g}) "
+              f"{'ok' if ok else '<< BELOW FLOOR'}")
+        if not ok:
+            failed.append(dotted)
+    if failed:
+        print(f"\n{len(failed)} floor violation(s): {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json summaries or assert floors")
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE CANDIDATE (diff) or FILE (assert)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed throughput drop (default 0.05)")
+    parser.add_argument("--assert-min", action="append", default=[],
+                        metavar="SECTION.KEY=VALUE",
+                        help="assert a floor on one metric; repeatable")
+    args = parser.parse_args()
+
+    if args.assert_min:
+        if len(args.files) != 1:
+            parser.error("--assert-min takes exactly one FILE")
+        return assert_min(args.files[0], args.assert_min)
+    if len(args.files) != 2:
+        parser.error("diff mode takes BASELINE and CANDIDATE")
+    return diff(args.files[0], args.files[1], args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

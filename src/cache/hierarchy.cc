@@ -304,28 +304,47 @@ Hierarchy::installLine(MshrEntry &entry, Tick now)
     if (ev.valid) {
         bool dirty = ev.dirty;
         // Inclusive L2: purge the victim from every L1, folding dirty
-        // data into the writeback.
-        for (auto &l1 : l1s_) {
-            if (l1->invalidate(ev.lineAddr))
+        // data into the writeback.  An affected core's L1 membership is
+        // about to change from outside its own tick, so its frozen
+        // replay interval must be closed first (CoreTouchFn contract);
+        // the side-effect-free probe finds the affected cores without
+        // changing which invalidations happen.
+        for (unsigned c = 0; c < params_.cores; ++c) {
+            Cache &l1 = *l1s_[c];
+            if (!l1.probe(ev.lineAddr))
+                continue;
+            if (touchPrepare_)
+                touchPrepare_(static_cast<std::uint8_t>(c));
+            if (l1.invalidate(ev.lineAddr))
                 dirty = true;
+            if (touchDone_)
+                touchDone_(static_cast<std::uint8_t>(c), ev.lineAddr);
         }
         if (dirty)
             queueWriteback(ev.lineAddr);
     }
 
-    // Install into the requesters' L1s (prefetches stop at L2).
-    if (!entry.isPrefetch)
-        fillL1(entry.allocCore, entry.lineAddr, entry.writeAllocate);
+    // Install into the requesters' L1s (prefetches stop at L2).  This is
+    // the external-touch path with no wake attached (store-miss fills,
+    // merged second fills), hence the same notifications.
+    if (!entry.isPrefetch) {
+        if (touchPrepare_)
+            touchPrepare_(entry.allocCore);
+        const Addr victim =
+            fillL1(entry.allocCore, entry.lineAddr, entry.writeAllocate);
+        if (touchDone_)
+            touchDone_(entry.allocCore, victim);
+    }
 }
 
-void
+Addr
 Hierarchy::fillL1(std::uint8_t core, Addr line_addr, bool dirty)
 {
     Cache &l1 = *l1s_[core];
     if (l1.probe(line_addr)) {
         if (dirty)
             l1.access(line_addr, true);
-        return;
+        return kNoEvictedLine;
     }
     const Cache::Eviction ev = l1.fill(line_addr, dirty);
     if (ev.valid && ev.dirty) {
@@ -336,6 +355,7 @@ Hierarchy::fillL1(std::uint8_t core, Addr line_addr, bool dirty)
             queueWriteback(ev.lineAddr);
         }
     }
+    return ev.valid ? ev.lineAddr : kNoEvictedLine;
 }
 
 void

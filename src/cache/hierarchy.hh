@@ -72,10 +72,37 @@ class Hierarchy
     using BulkMarkFn =
         std::function<void(std::uint8_t core, std::uint16_t slot)>;
 
+    /**
+     * Notification that a fill is about to touch (prepare) / has touched
+     * (done) a core's private L1 from outside that core's own tick: the
+     * L2-eviction back-invalidate and the requester-L1 install.  These
+     * are the only mutations of a core-private line set that do not go
+     * through the core's WakeFn, so together with wakes they delimit
+     * every interval over which a core's L1 membership is frozen — the
+     * invariant batched core execution (DESIGN.md section 14) replays
+     * against.
+     */
+    using CoreTouchFn = std::function<void(std::uint8_t core)>;
+
+    /** Done-side notification also names the line the touch *removed*
+     *  from the core's L1 (kNoEvictedLine when it only installed):
+     *  removals are the one external change that can move a predicted
+     *  core-run boundary earlier, so the receiver can invalidate
+     *  precisely instead of on every fill. */
+    using CoreTouchDoneFn =
+        std::function<void(std::uint8_t core, Addr evicted_line)>;
+    static constexpr Addr kNoEvictedLine = ~Addr{0};
+
     Hierarchy(const Params &params, cwf::MemoryBackend &backend);
 
     void setWakeFn(WakeFn fn) { wake_ = std::move(fn); }
     void setBulkMarkFn(BulkMarkFn fn) { bulkMark_ = std::move(fn); }
+    void
+    setCoreTouchFns(CoreTouchFn prepare, CoreTouchDoneFn done)
+    {
+        touchPrepare_ = std::move(prepare);
+        touchDone_ = std::move(done);
+    }
 
     /** Issue a load; Pending means the core will be woken via WakeFn. */
     AccessResult load(std::uint8_t core, std::uint16_t slot, Addr addr,
@@ -168,6 +195,24 @@ class Hierarchy
     /** Outstanding work (for drain checks in tests). */
     bool quiescent() const;
 
+    /**
+     * True when an access by @p core to @p addr would resolve entirely
+     * within its private L1 this tick: no fill in flight for the line
+     * (accessImpl merges into MSHRs before probing the L1) and the line
+     * present.  Side-effect free — the boundary predictor probes this
+     * for future ops without perturbing LRU or prefetcher state, which
+     * is sound because L1 hits never change L1 membership.
+     */
+    bool
+    privateHit(std::uint8_t core, Addr addr) const
+    {
+        const Addr line = lineBase(addr);
+        return mshrs_.find(line) == nullptr && l1s_[core]->probe(line);
+    }
+
+    /** Service latency of a private L1 hit, ticks. */
+    unsigned l1HitLatency() const { return params_.l1Latency; }
+
   private:
     AccessResult accessImpl(std::uint8_t core, std::uint16_t slot,
                             Addr addr, Tick now, bool is_store);
@@ -176,7 +221,7 @@ class Hierarchy
     void onLineCompleted(std::uint64_t mshr_id, Tick now);
 
     void installLine(MshrEntry &entry, Tick now);
-    void fillL1(std::uint8_t core, Addr line_addr, bool dirty);
+    Addr fillL1(std::uint8_t core, Addr line_addr, bool dirty);
     void queueWriteback(Addr line_addr);
     void trainAndPrefetch(std::uint8_t core, Addr line_addr, Tick now);
 
@@ -184,6 +229,8 @@ class Hierarchy
     cwf::MemoryBackend &backend_;
     WakeFn wake_;
     BulkMarkFn bulkMark_;
+    CoreTouchFn touchPrepare_;
+    CoreTouchDoneFn touchDone_;
 
     std::vector<std::unique_ptr<Cache>> l1s_;
     Cache l2_;

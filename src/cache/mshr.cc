@@ -27,6 +27,13 @@ MshrFile::find(Addr line_addr)
     return it == byLine_.end() ? nullptr : &entries_[it->second];
 }
 
+const MshrEntry *
+MshrFile::find(Addr line_addr) const
+{
+    const auto it = byLine_.find(line_addr);
+    return it == byLine_.end() ? nullptr : &entries_[it->second];
+}
+
 MshrEntry &
 MshrFile::byId(std::uint64_t id)
 {

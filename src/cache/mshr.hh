@@ -90,6 +90,7 @@ class MshrFile
 
     /** Entry tracking @p line_addr, or nullptr. */
     MshrEntry *find(Addr line_addr);
+    const MshrEntry *find(Addr line_addr) const;
 
     /** Entry with handle @p id (must be live). */
     MshrEntry &byId(std::uint64_t id);

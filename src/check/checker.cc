@@ -79,6 +79,8 @@ toString(Rule rule)
         return "phase_ledger";
       case Rule::EventQueue:
         return "event_queue";
+      case Rule::CoreBatch:
+        return "core_batch";
     }
     return "?";
 }
@@ -864,6 +866,46 @@ Checker::eventOversleep(const char *kind, std::size_t slot, Tick now,
                                          : std::to_string(scheduled)) +
                 " but nextEventTick(" + std::to_string(now) + ") = " +
                 std::to_string(fresh));
+}
+
+// --------------------------------------------------------------------
+// Batched core execution contract
+// --------------------------------------------------------------------
+
+void
+Checker::coreRunTiling(unsigned core, Tick from, Tick to, Tick prev_end)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::CoreBatch, from, "core " + std::to_string(core),
+            "batched runs do not tile: run [" + std::to_string(from) +
+                ", " + std::to_string(to) + ") does not start at the " +
+                "previous run end " +
+                (prev_end == kTickNever ? std::string("never")
+                                        : std::to_string(prev_end)));
+}
+
+void
+Checker::coreReplayEscape(unsigned core, Tick at, unsigned outcome,
+                          unsigned level)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::CoreBatch, at, "core " + std::to_string(core),
+            "replayed dispatch escaped the private L1: outcome " +
+                std::to_string(outcome) + " level " +
+                std::to_string(level));
+}
+
+void
+Checker::coreRunAccounting(unsigned core, Tick from, Tick to,
+                           const char *what, std::uint64_t expected,
+                           std::uint64_t actual)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::CoreBatch, from, "core " + std::to_string(core),
+            "closed-form run [" + std::to_string(from) + ", " +
+                std::to_string(to) + ") disagrees with per-tick replay: " +
+                what + " expected " + std::to_string(expected) +
+                " actual " + std::to_string(actual));
 }
 
 // --------------------------------------------------------------------

@@ -83,6 +83,7 @@ enum class Rule : std::uint8_t {
     MshrLeak,        ///< MSHR entry never drained (finalizeAll)
     PhaseLedger,     ///< phase ledger does not partition [enqueue, complete]
     EventQueue,      ///< event armed in the past / component overslept
+    CoreBatch,       ///< batched core run broke tiling / escaped the L1
 };
 
 const char *toString(Rule rule);
@@ -195,6 +196,22 @@ class Checker
      *  would have silently skipped over. */
     void eventOversleep(const char *kind, std::size_t slot, Tick now,
                         Tick scheduled, Tick fresh);
+
+    // ---- batched core execution contract (stateless) ----
+    /** A batched run [@p from, @p to) does not start where the previous
+     *  run ended (@p prev_end): the runs no longer tile the timeline and
+     *  some ticks were double-counted or lost. */
+    void coreRunTiling(unsigned core, Tick from, Tick to, Tick prev_end);
+    /** A replayed dispatch left the private L1 (outcome/level are the
+     *  numeric Hierarchy::Outcome / HitLevel values): the interval was
+     *  not the pure compute run the boundary predictor promised. */
+    void coreReplayEscape(unsigned core, Tick at, unsigned outcome,
+                          unsigned level);
+    /** Closed-form run accounting disagreed with per-tick replay over
+     *  [@p from, @p to) for counter @p what. */
+    void coreRunAccounting(unsigned core, Tick from, Tick to,
+                           const char *what, std::uint64_t expected,
+                           std::uint64_t actual);
 
     Checker(const Checker &) = delete;
     Checker &operator=(const Checker &) = delete;
@@ -419,6 +436,26 @@ onEventOversleep(const char *kind, std::size_t slot, Tick now,
                  Tick scheduled, Tick fresh)
 {
     HETSIM_CHECK_HOOK(eventOversleep(kind, slot, now, scheduled, fresh));
+}
+
+inline void
+onCoreRunTiling(unsigned core, Tick from, Tick to, Tick prev_end)
+{
+    HETSIM_CHECK_HOOK(coreRunTiling(core, from, to, prev_end));
+}
+
+inline void
+onCoreReplayEscape(unsigned core, Tick at, unsigned outcome, unsigned level)
+{
+    HETSIM_CHECK_HOOK(coreReplayEscape(core, at, outcome, level));
+}
+
+inline void
+onCoreRunAccounting(unsigned core, Tick from, Tick to, const char *what,
+                    std::uint64_t expected, std::uint64_t actual)
+{
+    HETSIM_CHECK_HOOK(
+        coreRunAccounting(core, from, to, what, expected, actual));
 }
 
 } // namespace hetsim::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "common/attrib.hh"
 #include "common/log.hh"
 
@@ -55,6 +56,12 @@ Core::tick(Tick now)
         workloads::MicroOp op;
         if (pendingOp_) {
             op = *pendingOp_;
+        } else if (peekedHead_ < peeked_.size()) {
+            op = peeked_[peekedHead_++];
+            if (peekedHead_ == peeked_.size()) {
+                peeked_.clear();
+                peekedHead_ = 0;
+            }
         } else {
             op = source_();
         }
@@ -75,6 +82,8 @@ Core::tick(Tick now)
             entry.readyAt = now + 1;
         } else if (op.isWrite) {
             const auto res = hierarchy_.store(id_, op.addr, now);
+            if (replayGuard_) [[unlikely]]
+                noteReplayAccess(res, now);
             if (res.outcome == cache::Hierarchy::Outcome::Blocked) {
                 pendingOp_ = op;
                 dispatchStalls_ += 1;
@@ -84,6 +93,8 @@ Core::tick(Tick now)
             entry.readyAt = res.readyAt;
         } else {
             const auto res = hierarchy_.load(id_, slot, op.addr, now);
+            if (replayGuard_) [[unlikely]]
+                noteReplayAccess(res, now);
             if (res.outcome == cache::Hierarchy::Outcome::Blocked) {
                 pendingOp_ = op;
                 dispatchStalls_ += 1;
@@ -105,9 +116,22 @@ Core::tick(Tick now)
         tail_ = (tail_ + 1) % params_.robSize;
         count_ += 1;
         pendingOp_.reset();
+        // The verification frontier counts ROB insertions; consuming
+        // position zero with nothing verified spends the boundary claim,
+        // and that dispatch may itself have evicted an L1 victim (L2-hit
+        // fill), so the recorded line set must not outlive it.
+        if (scanVerified_ > 0) {
+            scanVerified_ -= 1;
+        } else {
+            scanBoundaryKnown_ = false;
+            scanLineCount_ = 0;
+        }
     }
 
     robOccupancySum_ += count_;
+    // Ticks executed directly (engine boundary ticks, legacy loop) keep
+    // the batched-run tiling sound: the next run starts one past here.
+    lastRunEnd_ = now + 1;
 
     // ---- CPI-stack attribution ----
     if (attrib::enabled()) {
@@ -183,6 +207,365 @@ Core::fastForward(Tick from, Tick to)
     // skip, so every skipped tick classifies identically.
     if (attrib::enabled())
         cpi_[static_cast<unsigned>(stallBucket())] += n;
+    lastRunEnd_ = to;
+}
+
+void
+Core::stallForward(Tick from, Tick to)
+{
+#ifndef HETSIM_DISABLE_CHECK
+    if (check::detail::g_checkEnabled) [[unlikely]] {
+        // Shadow verification (core_batch rule): replay the stall gap
+        // per-tick — the ground truth by definition — and flag any
+        // counter the closed form would have integrated differently.
+        const std::uint64_t stalls0 = dispatchStalls_;
+        const std::uint64_t occ0 = robOccupancySum_;
+        const std::uint64_t ret0 = retired_;
+        const std::uint64_t cnt = count_;
+        const std::uint64_t n = to - from;
+        for (Tick x = from; x < to; ++x)
+            tick(x);
+        if (dispatchStalls_ != stalls0 + n) {
+            check::Checker::instance().coreRunAccounting(
+                id_, from, to, "dispatch_stalls", stalls0 + n,
+                dispatchStalls_);
+        }
+        if (robOccupancySum_ != occ0 + cnt * n) {
+            check::Checker::instance().coreRunAccounting(
+                id_, from, to, "rob_occupancy_sum", occ0 + cnt * n,
+                robOccupancySum_);
+        }
+        if (retired_ != ret0) {
+            check::Checker::instance().coreRunAccounting(
+                id_, from, to, "retired", ret0, retired_);
+        }
+        return;
+    }
+#endif
+    fastForward(from, to);
+}
+
+std::uint64_t
+Core::runUntil(Tick from, Tick to)
+{
+    if (lastRunEnd_ != kTickNever && from != lastRunEnd_) [[unlikely]]
+        noteTilingBreak(from, to);
+    Tick t = from;
+    std::uint64_t stepped = 0;
+    while (t < to) {
+        const Tick ne = nextEventTick(t);
+        if (ne > t) {
+            // Pure stall until the next retire/dispatch opportunity (or
+            // the run end): integrate in closed form, O(1).
+            stallForward(t, std::min(ne, to));
+            t = std::min(ne, to);
+            continue;
+        }
+        // Active tick: replay it against the real hierarchy.  Every
+        // access must resolve in the private L1 (replayGuard_).
+        replayGuard_ = true;
+        tick(t);
+        replayGuard_ = false;
+        stepped += 1;
+        t += 1;
+    }
+    lastRunEnd_ = to;
+    return stepped;
+}
+
+const workloads::MicroOp &
+Core::peekOp(std::size_t idx)
+{
+    while (peeked_.size() - peekedHead_ <= idx)
+        peeked_.push_back(source_());
+    return peeked_[peekedHead_ + idx];
+}
+
+Tick
+Core::nextBoundaryTick(Tick from)
+{
+    // The memo survives on-path execution (replay and boundary ticks
+    // execute exactly the predicted stream), so it is valid until an
+    // external event rewrites the prediction inputs — wake() and
+    // invalidateBoundary() clear it — or until time advances past it.
+    if (boundaryMemoValid_ && boundaryMemo_ >= from)
+        return boundaryMemo_;
+    boundaryMemo_ = predictBoundary(from);
+    boundaryMemoValid_ = true;
+    return boundaryMemo_;
+}
+
+void
+Core::noteL1LineRemoved(Addr line)
+{
+    // An eviction can only move the boundary *earlier* when it takes
+    // away a line the frontier counted on being private; any other
+    // removal leaves every recorded claim — and therefore the memoized
+    // boundary tick — intact.
+    for (unsigned i = 0; i < scanLineCount_; ++i) {
+        if (scanLines_[i] == line) {
+            invalidateBoundary();
+            return;
+        }
+    }
+}
+
+const workloads::MicroOp &
+Core::posOp(std::uint32_t pos)
+{
+    // Upcoming insertion #pos: the blocked retry op first (it re-enters
+    // dispatch before any fresh fetch), then the peek-ahead stream.
+    if (pendingOp_) {
+        if (pos == 0)
+            return *pendingOp_;
+        return peekOp(pos - 1);
+    }
+    return peekOp(pos);
+}
+
+bool
+Core::compactScanLines()
+{
+    // Re-collect the lines the *unconsumed* frontier positions still
+    // reference; lines whose every claiming position already dispatched
+    // drop out and free slots.  Every surviving line was already in the
+    // set (that is what verified the position), so this only shrinks.
+    std::array<Addr, kScanLines> fresh;
+    unsigned n = 0;
+    for (std::uint32_t j = 0; j < scanVerified_; ++j) {
+        const workloads::MicroOp &op = posOp(j);
+        if (!op.isMem)
+            continue;
+        const Addr line = lineBase(op.addr);
+        bool dup = false;
+        for (unsigned i = 0; i < n; ++i) {
+            if (fresh[i] == line) {
+                dup = true;
+                break;
+            }
+        }
+        if (!dup)
+            fresh[n++] = line;
+    }
+    scanLines_ = fresh;
+    scanLineCount_ = n;
+    return n < kScanLines;
+}
+
+void
+Core::growFrontier()
+{
+    // Extend the verification frontier in op-stream order — insertion
+    // order equals stream order regardless of timing, so line privacy
+    // can be settled without simulating the pacing at all.  Probes are
+    // paid once per (position, line): results live in scanVerified_ /
+    // scanLines_ until an external removal of a recorded line (or the
+    // boundary claim being spent) invalidates them.
+    while (!scanBoundaryKnown_ && scanVerified_ < kMaxFrontier) {
+        const workloads::MicroOp &op = posOp(scanVerified_);
+        if (op.isMem) {
+            const Addr line = lineBase(op.addr);
+            bool known = false;
+            for (unsigned i = 0; i < scanLineCount_; ++i) {
+                if (scanLines_[i] == line) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                if (scanLineCount_ == kScanLines && !compactScanLines())
+                    return; // line budget exhausted: stop at this edge
+                if (!hierarchy_.privateHit(id_, op.addr)) {
+                    scanBoundaryKnown_ = true;
+                    return; // the op at scanVerified_ leaves the L1
+                }
+                scanLines_[scanLineCount_++] = line;
+            }
+        }
+        scanVerified_ += 1;
+    }
+}
+
+Tick
+Core::predictBoundary(Tick from)
+{
+    growFrontier();
+
+    // Earliest tick anything at all can happen; the first non-private
+    // dispatch cannot precede it.  kTickNever: only a wake unblocks.
+    const Tick start = nextEventTick(from);
+    if (start == kTickNever)
+        return kTickNever;
+
+    // Arithmetic lower bound on when insertion #scanVerified_ (the
+    // boundary op when known, the frontier edge otherwise) can
+    // dispatch.  One pass over the future ROB order paces retires and
+    // dispatches at `width` per tick, holds each insertion until the
+    // ROB has space for it (its freeing retire cannot precede the
+    // freed entry's data), and holds dependent loads until their
+    // producer's data is back.  Entries only a wake can ready
+    // propagate kTickNever — the wake path invalidates the memo and
+    // re-predicts.  Every constraint here is a relaxation of tick()'s,
+    // so whatever is omitted only makes the real tick later: the bound
+    // is never late, and a conservative-early event merely fires
+    // inside the run, replays the prefix, and re-arms from there.
+    const Tick l1Lat = hierarchy_.l1HitLatency();
+    const std::uint32_t target = scanVerified_;
+
+    // Retire schedule: ROB order, at most `width` per tick, none
+    // before `start` (no tick executes earlier).  predReady_ collects
+    // the in-window insertions' ready-time bounds as their dispatch
+    // ticks are fixed; only insertions at least robSize positions back
+    // are ever consumed, so production stays ahead of consumption.
+    std::uint32_t retDone = 0;
+    std::uint32_t retIdx = 0;
+    Tick retTick = start;
+    unsigned retUsed = 0;
+    predReady_.clear();
+    bool never = false;
+
+    const auto readyLB = [&](std::uint32_t pos) -> Tick {
+        if (pos < count_) {
+            unsigned slot = head_ + pos;
+            if (slot >= params_.robSize)
+                slot -= params_.robSize;
+            const RobEntry &e = rob_[slot];
+            if (!e.ready) {
+                never = true; // parked load: only a wake readies it
+                return 0;
+            }
+            return std::max(start, e.readyAt);
+        }
+        return predReady_[pos - count_];
+    };
+    const auto retireLB = [&](std::uint32_t r) -> Tick {
+        while (retDone < r) {
+            const Tick rt = readyLB(retIdx);
+            if (never)
+                return 0;
+            if (retUsed == params_.width) {
+                retTick += 1;
+                retUsed = 0;
+            }
+            if (rt > retTick) {
+                retTick = rt;
+                retUsed = 0;
+            }
+            retUsed += 1;
+            retDone += 1;
+            retIdx += 1;
+        }
+        return retTick;
+    };
+
+    // Live last-load dependence (mirrors lastLoadPending()): until an
+    // in-window load takes over, dependent mem ops wait on it.
+    bool liveLoadPending = false;
+    bool liveLoadNever = false;
+    Tick liveLoadReady = 0;
+    if (lastLoadSlot_ >= 0) {
+        const RobEntry &e = rob_[static_cast<unsigned>(lastLoadSlot_)];
+        if (e.valid && e.seq == lastLoadSeq_) {
+            liveLoadPending = true;
+            if (e.ready)
+                liveLoadReady = std::max(start, e.readyAt);
+            else
+                liveLoadNever = true;
+        }
+    }
+
+    // growFrontier() already drew the stream through the window, so the
+    // loop can index peeked_ directly instead of re-checking per op
+    // (posOp would); the one position it may not have drawn — the
+    // frontier edge itself — is forced here, before the pointer is
+    // taken (peekOp can reallocate the buffer).
+    const workloads::MicroOp *pend =
+        pendingOp_ ? &*pendingOp_ : nullptr;
+    if (!pend || target > 0)
+        (void)peekOp(pend ? target - 1 : target);
+    const workloads::MicroOp *stream = peeked_.data() + peekedHead_;
+
+    Tick dispTick = start;
+    unsigned dispUsed = 0;
+    Tick lastLoadReady = 0;
+    bool haveLoad = false;
+    for (std::uint32_t j = 0; j <= target; ++j) {
+        if (dispUsed == params_.width) {
+            dispTick += 1;
+            dispUsed = 0;
+        }
+        const std::uint64_t occupied = count_ + j;
+        if (occupied >= params_.robSize) {
+            const Tick rT = retireLB(static_cast<std::uint32_t>(
+                occupied + 1 - params_.robSize));
+            if (never)
+                return kTickNever;
+            if (rT > dispTick) {
+                dispTick = rT;
+                dispUsed = 0;
+            }
+        }
+        const workloads::MicroOp &op =
+            pend ? (j == 0 ? *pend : stream[j - 1]) : stream[j];
+        if (op.isMem && op.dependsOnPrev) {
+            if (haveLoad) {
+                if (lastLoadReady > dispTick) {
+                    dispTick = lastLoadReady;
+                    dispUsed = 0;
+                }
+            } else if (liveLoadPending) {
+                if (liveLoadNever)
+                    return kTickNever;
+                if (liveLoadReady > dispTick) {
+                    dispTick = liveLoadReady;
+                    dispUsed = 0;
+                }
+            }
+        }
+        if (j == target)
+            return dispTick;
+        dispUsed += 1;
+        predReady_.push_back(op.isMem ? dispTick + l1Lat : dispTick + 1);
+        if (op.isMem && !op.isWrite) {
+            haveLoad = true;
+            lastLoadReady = dispTick + l1Lat;
+        }
+    }
+    return dispTick; // unreachable: the loop returns at j == target
+}
+
+void
+Core::noteTilingBreak(Tick from, Tick to) const
+{
+#ifndef HETSIM_DISABLE_CHECK
+    if (check::detail::g_checkEnabled) {
+        check::Checker::instance().coreRunTiling(id_, from, to,
+                                                 lastRunEnd_);
+        return;
+    }
+#endif
+    sim_assert(false, "core ", unsigned{id_}, " batched run [", from, ", ",
+               to, ") does not start at the previous run end ",
+               lastRunEnd_);
+}
+
+void
+Core::noteReplayAccess(const cache::Hierarchy::AccessResult &res,
+                       Tick now) const
+{
+    if (res.outcome == cache::Hierarchy::Outcome::Ready &&
+        res.level == HitLevel::L1)
+        return;
+#ifndef HETSIM_DISABLE_CHECK
+    if (check::detail::g_checkEnabled) {
+        check::Checker::instance().coreReplayEscape(
+            id_, now, static_cast<unsigned>(res.outcome),
+            static_cast<unsigned>(res.level));
+        return;
+    }
+#endif
+    sim_assert(false, "core ", unsigned{id_},
+               " batched replay escaped the private L1 at tick ", now);
 }
 
 void
@@ -193,6 +576,14 @@ Core::wake(std::uint16_t slot, Tick now)
                "wake of slot ", slot, " in unexpected state");
     entry.ready = true;
     entry.readyAt = now;
+    // The prediction modelled this slot as never becoming ready, so a
+    // delivery at or after the predicted boundary changes nothing the
+    // simulated interval [from, boundary) depends on — the memo holds.
+    // Earlier delivery can pull retires (and with them the boundary)
+    // forward, so the memo must go; the verification frontier survives
+    // either way, because line-privacy claims are wake-independent.
+    if (!boundaryMemoValid_ || now < boundaryMemo_)
+        boundaryMemoValid_ = false;
 }
 
 void

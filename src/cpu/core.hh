@@ -69,6 +69,76 @@ class Core
      */
     void fastForward(Tick from, Tick to);
 
+    /**
+     * Replay the batched compute run [from, to) tick by tick, using the
+     * O(1) closed-form integration for the pure-stall gaps nextEventTick
+     * exposes.  Legal only when the interval is a *replay region*: every
+     * dispatch in it resolves within the private L1 (the boundary
+     * predictor's promise) and no wake or external L1 touch lands inside
+     * it (the event engine closes the region before either).  Exact
+     * per-tick equivalence holds by construction — the replay runs the
+     * real tick() against the real hierarchy.  Runs must tile the
+     * timeline: @p from must equal the previous run's @p to (flagged via
+     * the checker's core_batch rule).  Returns the ticks stepped
+     * per-tick (the rest was integrated in closed form).
+     */
+    std::uint64_t runUntil(Tick from, Tick to);
+
+    /**
+     * First tick >= @p from at which this core must execute under the
+     * event engine with batched runs: a sound lower bound on the
+     * earliest tick whose dispatch issues a non-private access
+     * (load/store leaving the L1, or a blocked-access retry).  The
+     * boundary *position* in the op stream is timing-independent
+     * (in-order dispatch), so it is found by a timing-free scan; the
+     * *tick* is an O(position) arithmetic bound.  Never late — a late
+     * boundary would replay a memory access against advanced backend
+     * state; may be conservatively early, which merely costs an extra
+     * event.  kTickNever when only a load wake can unblock the core.
+     * Memoized; invalidated by wake() and invalidateBoundary().
+     */
+    Tick nextBoundaryTick(Tick from);
+
+    /**
+     * Never-late arm tick after an external mutation, O(1): the
+     * memoized boundary when it survived the mutation, else the next
+     * activity tick — the first non-private dispatch cannot precede
+     * the first tick that retires or dispatches anything, so arming
+     * there is at worst conservatively early.  Keeps the wake path
+     * free of predictor runs: however many wakes land before the
+     * armed event fires, the predictor runs once, at that event's
+     * own re-arm.
+     */
+    Tick cheapArmTick(Tick from) const
+    {
+        if (boundaryMemoValid_ && boundaryMemo_ >= from)
+            return boundaryMemo_;
+        return nextEventTick(from);
+    }
+
+    /** Drop the memoized boundary and the op-stream verification
+     *  frontier: an external event changed the prediction inputs in an
+     *  unknown way. */
+    void invalidateBoundary()
+    {
+        boundaryMemoValid_ = false;
+        scanVerified_ = 0;
+        scanBoundaryKnown_ = false;
+        scanLineCount_ = 0;
+    }
+
+    /**
+     * A line was evicted or back-invalidated out of this core's L1 from
+     * outside its own tick (Hierarchy's CoreTouchFn done notification).
+     * The boundary prediction claimed "private" only for the lines the
+     * scan recorded, so both memos survive unless @p line is one of
+     * them.  Installs need no
+     * notification at all: turning a predicted-non-private op private
+     * can only move the true boundary later, leaving the armed event
+     * conservatively early, which is always sound.
+     */
+    void noteL1LineRemoved(Addr line);
+
     /** Deliver data to a parked load (called via Hierarchy's WakeFn). */
     void wake(std::uint16_t slot, Tick now);
 
@@ -129,6 +199,16 @@ class Core
     bool lastLoadPending(Tick now) const;
     CpiBucket stallBucket() const;
 
+    Tick predictBoundary(Tick from);
+    void growFrontier();
+    bool compactScanLines();
+    const workloads::MicroOp &posOp(std::uint32_t pos);
+    const workloads::MicroOp &peekOp(std::size_t idx);
+    void stallForward(Tick from, Tick to);
+    void noteTilingBreak(Tick from, Tick to) const;
+    void noteReplayAccess(const cache::Hierarchy::AccessResult &res,
+                          Tick now) const;
+
     std::uint8_t id_;
     Params params_;
     OpSource source_;
@@ -143,6 +223,53 @@ class Core
     /** Micro-op that could not dispatch (Blocked / dependence) and must
      *  be retried before fetching new work. */
     std::optional<workloads::MicroOp> pendingOp_;
+
+    /** Ops drawn from source_ by the boundary predictor but not yet
+     *  dispatched; tick() consumes these before fetching fresh work, so
+     *  the op stream order is identical with prediction on or off.
+     *  Flat ring over a vector (peekedHead_ is the consume cursor,
+     *  compacted when drained) — the predictor indexes this on its
+     *  hottest path, where deque's chunked indexing costs. */
+    std::vector<workloads::MicroOp> peeked_;
+    std::size_t peekedHead_ = 0;
+
+    /**
+     * Op-stream verification frontier: the next scanVerified_ ROB
+     * insertions are known to resolve in the private L1, and when
+     * scanBoundaryKnown_ is set the insertion right after them is known
+     * to leave it (the boundary op).  growFrontier() extends it in
+     * op-stream order — insertion order equals stream order regardless
+     * of timing, so each position is probed exactly once, ever, with no
+     * timing simulation.  Every distinct line probed private is
+     * recorded in scanLines_, so an external L1 eviction invalidates
+     * precisely; when the set fills, compactScanLines() drops lines
+     * whose claiming positions already dispatched, and the frontier
+     * stops growing (a sound early edge) only if that frees nothing.
+     * tick() keeps the frontier current: each insertion consumes one
+     * position, and consuming position zero with nothing verified
+     * spends the boundary claim and clears the line set (that dispatch
+     * may itself reshape the L1 via an L2-hit fill).
+     */
+    std::uint32_t scanVerified_ = 0;
+    bool scanBoundaryKnown_ = false;
+    static constexpr unsigned kMaxFrontier = 256;
+    static constexpr unsigned kScanLines = 32;
+    std::array<Addr, kScanLines> scanLines_{};
+    unsigned scanLineCount_ = 0;
+
+    /** predictBoundary scratch: ready-time lower bounds of the
+     *  in-window insertions, consumed by its retire schedule
+     *  (capacity persists across calls). */
+    std::vector<Tick> predReady_;
+
+    Tick boundaryMemo_ = 0;
+    bool boundaryMemoValid_ = false;
+    /** End of the last batched run / tick / fastForward; runUntil checks
+     *  new runs start exactly here (kTickNever = nothing ran yet). */
+    Tick lastRunEnd_ = kTickNever;
+    /** Set while runUntil replays tick(): every hierarchy access must
+     *  then be an L1-hit Ready (checker core_batch rule). */
+    bool replayGuard_ = false;
 
     int lastLoadSlot_ = -1;
     std::uint64_t lastLoadSeq_ = 0;

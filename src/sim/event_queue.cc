@@ -92,6 +92,21 @@ EventQueue::popNext()
     return slot;
 }
 
+std::size_t
+EventQueue::popSameTickBelow(Tick at, std::size_t below_slot,
+                             std::size_t *out, std::size_t cap)
+{
+    std::size_t n = 0;
+    while (n < cap && !heap_.empty()) {
+        const std::size_t slot = heap_.front();
+        if (tick_[slot] != at || slot >= below_slot)
+            break;
+        cancel(slot);
+        out[n++] = slot;
+    }
+    return n;
+}
+
 void
 EventQueue::clear()
 {

@@ -95,6 +95,18 @@ class EventQueue
      *  Precondition: !empty(). */
     std::size_t popNext();
 
+    /**
+     * Batch-pop every event due exactly at @p at whose slot is below
+     * @p below_slot (ascending slot order, same as repeated popNext),
+     * up to @p cap, into @p out; returns the count.  Stops at the first
+     * front event at another tick or at/above the slot bound, so later
+     * slots' standing schedules stay queued — the caller uses the bound
+     * to restrict batching to core slots, whose re-arms always land at
+     * future ticks and therefore can never re-enter the batch.
+     */
+    std::size_t popSameTickBelow(Tick at, std::size_t below_slot,
+                                 std::size_t *out, std::size_t cap);
+
     /** Drop every pending event, keeping the slot count. */
     void clear();
 

@@ -63,6 +63,9 @@ runSimulation(System &system, const RunConfig &config)
                 system.tick();
             done = stats.demandCompletions.value() - start;
             if (done >= next_sample) {
+                // Batched core runs leave retire counts lazily pending;
+                // flush them so the sample reads the true window IPC.
+                system.syncComponents();
                 r.windows.push_back(WindowSample{
                     done, system.now(), system.aggregateIpc()});
                 next_sample += config.statsWindowEvery;

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <typeinfo>
 
 #include "check/checker.hh"
 #include "common/log.hh"
+#include "common/trace.hh"
+#include "core/hetero_memory.hh"
+#include "core/hmc_memory.hh"
 
 namespace hetsim::sim
 {
@@ -21,6 +26,37 @@ nsSince(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double, std::nano>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+// The backend is monomorphic per System, but tickDue() sits on the
+// hottest event-engine path; resolve the concrete type once so the
+// per-event call is direct (the qualified call devirtualizes).
+template <typename T>
+void
+tickDueDirect(cwf::MemoryBackend *backend, Tick now)
+{
+    static_cast<T *>(backend)->T::tickDue(now);
+}
+
+void
+tickDueVirtual(cwf::MemoryBackend *backend, Tick now)
+{
+    backend->tickDue(now);
+}
+
+void (*resolveTickDue(const cwf::MemoryBackend *backend))(
+    cwf::MemoryBackend *, Tick)
+{
+    const std::type_info &t = typeid(*backend);
+    if (t == typeid(cwf::HomogeneousMemory))
+        return &tickDueDirect<cwf::HomogeneousMemory>;
+    if (t == typeid(cwf::CwfHeteroMemory))
+        return &tickDueDirect<cwf::CwfHeteroMemory>;
+    if (t == typeid(cwf::PagePlacementMemory))
+        return &tickDueDirect<cwf::PagePlacementMemory>;
+    if (t == typeid(cwf::HmcLikeMemory))
+        return &tickDueDirect<cwf::HmcLikeMemory>;
+    return &tickDueVirtual;
 }
 
 } // namespace
@@ -73,6 +109,27 @@ System::System(const SystemParams &params,
         rearmCoreAfterMutation(core);
     });
 
+    // Fill-side L1 touches (back-invalidate, requester install) are the
+    // only external mutations of a core's private line set that carry no
+    // wake: close the touched core's replay region first, then tell it
+    // which line (if any) the touch removed — only a removal can move
+    // its predicted boundary earlier, so installs leave the memo (and
+    // the re-arm) untouched.  The guard covers inactive cores' L1s
+    // (alone runs), which hold no lines in practice but have no Core
+    // object to notify.
+    hierarchy_->setCoreTouchFns(
+        [this](std::uint8_t core) {
+            if (core < activeCores_)
+                prepareCoreMutation(core);
+        },
+        [this](std::uint8_t core, Addr evicted) {
+            if (core >= activeCores_)
+                return;
+            if (evicted != cache::Hierarchy::kNoEvictedLine)
+                cores_[core]->noteL1LineRemoved(evicted);
+            rearmCoreAfterMutation(core);
+        });
+
     // All components live as long as the System, so registered stat
     // pointers and gauge closures stay valid for the registry's life.
     for (const auto &core : cores_)
@@ -88,8 +145,23 @@ System::System(const SystemParams &params,
                                                 : Engine::Event;
     if (const char *env = std::getenv("HETSIM_FASTFWD"))
         fastForward_ = std::strcmp(env, "0") != 0;
+    if (const char *env = std::getenv("HETSIM_CORE_BATCH"))
+        coreBatch_ = std::strcmp(env, "0") != 0;
     if (const char *env = std::getenv("HETSIM_PROFILE"))
         profiling_ = std::strcmp(env, "0") != 0;
+
+    backendTickDue_ = resolveTickDue(backend_.get());
+}
+
+void
+System::setCoreBatching(bool on)
+{
+    if (coreBatch_ == on)
+        return;
+    syncComponents();
+    primed_ = false;
+    events_.clear();
+    coreBatch_ = on;
 }
 
 void
@@ -189,22 +261,50 @@ System::skipAhead(Tick limit)
 }
 
 void
+System::noteSkipFailure()
+{
+    if (++skipFailStreak_ < kSkipFailThreshold)
+        return;
+    skipFailStreak_ = 0;
+    skipProbeResumeAt_ = now_ + skipBackoffTicks_;
+    skipBackoffTicks_ = std::min(skipBackoffTicks_ * 2, kSkipBackoffMax);
+}
+
+void
 System::skipAheadImpl(Tick limit)
 {
     if (!fastForward_)
         return;
-    Tick next = hierarchy_->nextEventTick(now_);
-    if (next <= now_)
+    // Adaptive gating: on busy runs every probe fails and the probing
+    // itself costs more than per-tick stepping, so after a failure
+    // streak the probes pause for an exponentially growing backoff.
+    // The hierarchy draining (no misses in flight, no writebacks) is
+    // the queue-drain transition that makes skips likely again, so it
+    // re-opens the gate immediately.  Skipping less is always exact.
+    if (now_ < skipProbeResumeAt_ && !hierarchy_->quiescent())
         return;
+    Tick next = hierarchy_->nextEventTick(now_);
+    if (next <= now_) {
+        noteSkipFailure();
+        return;
+    }
     for (const auto &core : cores_) {
         next = std::min(next, core->nextEventTick(now_));
-        if (next <= now_)
+        if (next <= now_) {
+            noteSkipFailure();
             return;
+        }
     }
     next = std::min(next, backend_->nextEventTick(now_));
+    if (next <= now_) {
+        noteSkipFailure();
+        return;
+    }
     next = std::min(next, limit);
     if (next <= now_ || next == kTickNever)
         return;
+    skipFailStreak_ = 0;
+    skipBackoffTicks_ = kSkipBackoffMin;
     // Every component is provably quiescent over [now_, next): integrate
     // the interval into the per-tick accumulators and jump.
     for (auto &core : cores_)
@@ -221,9 +321,14 @@ System::skipAheadImpl(Tick limit)
 void
 System::primeEvents()
 {
+    // Batched runs replay trace-visible accesses after the fact, out of
+    // global tick order in the record stream; recording therefore forces
+    // per-tick core events (bit-identical either way, just slower).
+    coreBatchActive_ =
+        coreBatch_ && !trace::Tracer::instance().enabled();
     for (std::size_t c = 0; c < activeCores_; ++c) {
         doneThrough_[c] = now_;
-        rearm(c, cores_[c]->nextEventTick(now_), now_, EventKind::Core);
+        rearm(c, coreArmTick(c, now_), now_, EventKind::Core);
     }
     doneThrough_[hierSlot()] = now_;
     rearm(hierSlot(), hierarchy_->nextEventTick(now_), now_,
@@ -288,8 +393,22 @@ System::processEventsAt(Tick at)
     // backend.  Cross-component arms during the drain only ever target
     // later slots at this tick (or anything at later ticks), so each
     // slot runs at most once per tick, exactly like the tick loop.
-    while (!events_.empty() && events_.nextTick() <= at)
-        runSlot(events_.popNext(), at);
+    //
+    // Core slots due at `at` are batch-popped up front: a core re-arm
+    // always lands at a future tick, so none of them can re-enter the
+    // queue at `at`, and the heap is touched once instead of per event.
+    // Hierarchy/backend slots must stay queued across the core runs —
+    // their standing schedule is what the downstream re-arm guards in
+    // runSlot test against.
+    std::size_t batch[32];
+    while (!events_.empty() && events_.nextTick() <= at) {
+        const std::size_t n =
+            events_.popSameTickBelow(at, activeCores_, batch, 32);
+        for (std::size_t i = 0; i < n; ++i)
+            runSlot(batch[i], at);
+        if (n == 0)
+            runSlot(events_.popNext(), at);
+    }
 }
 
 void
@@ -312,7 +431,7 @@ System::runSlot(std::size_t slot, Tick at)
         }
         doneThrough_[slot] = at + 1;
         coreEvents_ += 1;
-        rearm(slot, core.nextEventTick(at + 1), at + 1, EventKind::Core);
+        rearm(slot, coreArmTick(slot, at + 1), at + 1, EventKind::Core);
         // Only a fill request or a queued writeback can move the
         // downstream wake-ups (hierarchy.hh: downstreamArms); when the
         // core tick armed neither, the standing schedule is still
@@ -355,10 +474,10 @@ System::runSlot(std::size_t slot, Tick at)
         if (backend_->nextEventTick(at) <= at)
             selfProfile_.backendUseful += 1;
         const auto t0 = clock::now();
-        backend_->tickDue(at);
+        backendTickDue_(backend_.get(), at);
         selfProfile_.backendNs += nsSince(t0);
     } else {
-        backend_->tickDue(at);
+        backendTickDue_(backend_.get(), at);
     }
     doneThrough_[slot] = at + 1;
     backendEvents_ += 1;
@@ -374,10 +493,13 @@ void
 System::catchUpCore(std::size_t idx, Tick to)
 {
     Tick &done = doneThrough_[idx];
-    if (done < to) {
+    if (done >= to)
+        return;
+    if (coreBatchActive_)
+        coreReplayTicks_ += cores_[idx]->runUntil(done, to);
+    else
         cores_[idx]->fastForward(done, to);
-        done = to;
-    }
+    done = to;
 }
 
 void
@@ -412,8 +534,14 @@ System::rearmCoreAfterMutation(std::size_t idx)
 {
     if (engine_ != Engine::Event || !primed_)
         return;
-    rearm(idx, cores_[idx]->nextEventTick(now_ + 1), now_ + 1,
-          EventKind::Core);
+    // Mutation-side arming never runs the boundary predictor: the
+    // surviving memo or the O(1) next-activity tick is never late, and
+    // the one prediction this run needs happens at the armed event's
+    // own re-arm — not once per wake delivered meanwhile.
+    const Tick at = coreBatchActive_
+                        ? cores_[idx]->cheapArmTick(now_ + 1)
+                        : cores_[idx]->nextEventTick(now_ + 1);
+    rearm(idx, at, now_ + 1, EventKind::Core);
 }
 
 void
@@ -443,8 +571,12 @@ System::auditWakeContract()
             check::onEventOversleep(toString(kind), slot, now_, scheduled,
                                     fresh);
     };
+    // With batching active a core legitimately sleeps through active
+    // ticks — its contract is the boundary, not the next active tick,
+    // and nextBoundaryTick's memo makes the audit deterministic even
+    // for conservatively-early (capped) arms.
     for (std::size_t c = 0; c < activeCores_; ++c)
-        audit(c, cores_[c]->nextEventTick(now_), EventKind::Core);
+        audit(c, coreArmTick(c, now_), EventKind::Core);
     audit(hierSlot(), hierarchy_->nextEventTick(now_),
           EventKind::Hierarchy);
     audit(backendSlot(), backend_->nextEventTick(now_),
@@ -468,7 +600,9 @@ System::profileJson() const
        << ",\"backend_useful\":" << p.backendUseful
        << ",\"core_events\":" << coreEvents_
        << ",\"hierarchy_events\":" << hierEvents_
-       << ",\"backend_events\":" << backendEvents_;
+       << ",\"backend_events\":" << backendEvents_
+       << ",\"core_replay_ticks\":" << coreReplayTicks_
+       << ",\"core_batch\":" << (coreBatch_ ? "true" : "false");
     os.setf(std::ios::fixed);
     os.precision(3);
     os << ",\"cores_ms\":" << p.coresNs / 1e6

@@ -106,6 +106,23 @@ class System
     void setFastForward(bool on) { fastForward_ = on; }
     bool fastForwardEnabled() const { return fastForward_; }
 
+    /**
+     * Batched core execution toggle for the event engine (default from
+     * HETSIM_CORE_BATCH, on unless overridden; bit-identical either
+     * way).  When on, each core's event is armed at its next memory
+     * boundary (Core::nextBoundaryTick) instead of every active tick,
+     * and the interval in between is replayed on demand
+     * (Core::runUntil).  Auto-disabled while the tracer is recording:
+     * replay emits trace records out of global tick order.  Switching
+     * mid-run is safe (pending runs are flushed, queue re-primed).
+     */
+    void setCoreBatching(bool on);
+    bool coreBatchingEnabled() const { return coreBatch_; }
+
+    /** Ticks replayed per-tick inside batched core runs (the rest of
+     *  each run was integrated in closed form). */
+    std::uint64_t coreReplayTicks() const { return coreReplayTicks_; }
+
     Tick now() const { return now_; }
 
     /**
@@ -197,6 +214,7 @@ class System
   private:
     void tickProfiled();
     void skipAheadImpl(Tick limit);
+    void noteSkipFailure();
 
     // ---- event engine ----
     std::size_t hierSlot() const { return activeCores_; }
@@ -210,18 +228,37 @@ class System
     void processEventsAt(Tick at);
     void runSlot(std::size_t slot, Tick at);
 
-    /** Integrate core @p idx's quiescent interval [doneThrough, to). */
+    /** Integrate core @p idx's interval [doneThrough, to): closed-form
+     *  stall accounting, or a batched-run replay when batching is on. */
     void catchUpCore(std::size_t idx, Tick to);
     /** Integrate the backend's quiescent interval [doneThrough, to). */
     void catchUpBackend(Tick to);
 
+    /** Tick to arm core @p idx at: its next memory boundary when
+     *  batching is active, else its next active tick. */
+    Tick
+    coreArmTick(std::size_t idx, Tick from)
+    {
+        return coreBatchActive_ ? cores_[idx]->nextBoundaryTick(from)
+                                : cores_[idx]->nextEventTick(from);
+    }
+
+    /** Devirtualized MemoryBackend::tickDue for the concrete backend
+     *  type (monomorphic per System), resolved once at construction. */
+    using BackendTickDueFn = void (*)(cwf::MemoryBackend *, Tick);
+
     /** schedule() with a floor: components may answer conservatively
-     *  early (stale grids), never late; clamp keeps the queue sound. */
+     *  early (stale grids), never late; clamp keeps the queue sound.
+     *  Re-arming at the already-scheduled tick (the common case for a
+     *  component whose wake did not move, and any kTickNever no-op) is
+     *  detected here, before the heap is touched. */
     void
     rearm(std::size_t slot, Tick at, Tick floor, EventKind kind)
     {
         if (at != kTickNever && at < floor)
             at = floor;
+        if (events_.scheduledTick(slot) == at)
+            return;
         events_.schedule(slot, at, kind, now_);
     }
 
@@ -251,7 +288,24 @@ class System
     Tick windowStart_ = 0;
     Engine engine_ = Engine::Event;
     bool fastForward_ = true;
+    /** User-facing batching knob; coreBatchActive_ is the effective
+     *  state, recomputed at primeEvents (tracer gate). */
+    bool coreBatch_ = true;
+    bool coreBatchActive_ = false;
     bool profiling_ = false;
+    BackendTickDueFn backendTickDue_ = nullptr;
+    std::uint64_t coreReplayTicks_ = 0;
+
+    // Adaptive skipAhead gating (tick engine): after kSkipFailThreshold
+    // consecutive failed probes, stop probing for skipBackoffTicks_
+    // (doubling up to the cap) unless the hierarchy drains; skipping
+    // less is always bit-identical, just slower.
+    static constexpr unsigned kSkipFailThreshold = 8;
+    static constexpr Tick kSkipBackoffMin = 8;
+    static constexpr Tick kSkipBackoffMax = 64;
+    unsigned skipFailStreak_ = 0;
+    Tick skipBackoffTicks_ = kSkipBackoffMin;
+    Tick skipProbeResumeAt_ = 0;
     SelfProfile selfProfile_;
     std::uint64_t tickCalls_ = 0;
     std::uint64_t skippedTicks_ = 0;

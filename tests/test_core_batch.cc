@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Batched core execution (Core::runUntil / Core::nextBoundaryTick)
+ * against the per-tick reference.  Two identical harnesses run the same
+ * scripted op stream with the same wake schedule: the reference steps
+ * tick() every cycle, the subject uses the event engine's recipe —
+ * closed-form runs up to each predicted boundary, the boundary tick
+ * stepped for real.  Every observable counter must match exactly.
+ *
+ * Also covers the checker's core_batch rule: non-tiling runs and
+ * replayed dispatches that escape the private L1 are flagged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "check/checker.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "core/line_layout.hh"
+#include "cpu/core.hh"
+
+using namespace hetsim;
+using cache::Hierarchy;
+using check::Checker;
+using check::Mode;
+using check::Rule;
+using cpu::Core;
+using cwf::LatencySplit;
+using cwf::MemoryBackend;
+using workloads::MicroOp;
+
+namespace
+{
+
+/** Backend with test-controlled completion (see test_core.cc). */
+class ManualBackend : public MemoryBackend
+{
+  public:
+    Callbacks cb;
+    std::deque<std::uint64_t> pendingIds;
+
+    void setCallbacks(Callbacks callbacks) override
+    {
+        cb = std::move(callbacks);
+    }
+    unsigned plannedCriticalWord(Addr, unsigned, bool) override
+    {
+        return cwf::kNoFastWord;
+    }
+    bool canAcceptFill(Addr) const override { return true; }
+    void requestFill(const FillRequest &request, Tick) override
+    {
+        pendingIds.push_back(request.mshrId);
+    }
+    bool canAcceptWriteback(Addr) const override { return true; }
+    void requestWriteback(Addr, Tick) override {}
+    void tick(Tick) override {}
+    bool idle() const override { return pendingIds.empty(); }
+    void resetStats(Tick) override {}
+    double dramPowerMw(Tick) const override { return 0; }
+    double busUtilization(Tick) const override { return 0; }
+    LatencySplit latencySplit() const override { return {}; }
+    double rowHitRate() const override { return 0; }
+    const char *name() const override { return "manual"; }
+
+    void
+    completeOldest(Tick now)
+    {
+        ASSERT_FALSE(pendingIds.empty());
+        const std::uint64_t id = pendingIds.front();
+        pendingIds.pop_front();
+        cb.lineCompleted(id, now);
+    }
+};
+
+MicroOp
+alu()
+{
+    return MicroOp{};
+}
+
+MicroOp
+load(Addr addr, bool dependent = false)
+{
+    MicroOp op;
+    op.isMem = true;
+    op.addr = addr;
+    op.dependsOnPrev = dependent;
+    return op;
+}
+
+MicroOp
+store(Addr addr)
+{
+    MicroOp op;
+    op.isMem = true;
+    op.isWrite = true;
+    op.addr = addr;
+    return op;
+}
+
+/** One core + hierarchy + manual backend fed a scripted op stream
+ *  (infinite ALUs once the script drains, like a real frontend). */
+struct Harness
+{
+    ManualBackend backend;
+    std::unique_ptr<Hierarchy> hier;
+    std::unique_ptr<Core> core;
+    std::deque<MicroOp> script;
+
+    Harness()
+    {
+        Hierarchy::Params hp;
+        hp.cores = 1;
+        hp.prefetch.enabled = false;
+        hier = std::make_unique<Hierarchy>(hp, backend);
+        core = std::make_unique<Core>(
+            0, Core::Params{},
+            [this] {
+                if (script.empty())
+                    return alu();
+                const MicroOp op = script.front();
+                script.pop_front();
+                return op;
+            },
+            *hier);
+        hier->setWakeFn([this](std::uint8_t, std::uint16_t slot, Tick t) {
+            core->wake(slot, t);
+        });
+    }
+
+    /**
+     * Per-tick reference: tick every cycle in [from, to).  Completes the
+     * oldest outstanding fill whenever @p wakeAt says so (checked before
+     * the tick, the order System delivers backend events relative to the
+     * next core step).  Returns the wake ticks used, for the batched
+     * driver to replay verbatim.
+     */
+    template <typename WakePred>
+    std::vector<Tick>
+    runPerTick(Tick from, Tick to, WakePred wakeAt)
+    {
+        std::vector<Tick> wakes;
+        for (Tick t = from; t < to; ++t) {
+            if (!backend.pendingIds.empty() && wakeAt(t)) {
+                backend.completeOldest(t);
+                wakes.push_back(t);
+            }
+            core->tick(t);
+        }
+        return wakes;
+    }
+
+    /**
+     * Batched driver: the event engine's core recipe.  Closed-form run
+     * up to the next boundary or wake, wakes delivered at the recorded
+     * ticks, boundary ticks stepped for real.
+     */
+    void
+    runBatched(Tick from, Tick to, const std::vector<Tick> &wakes)
+    {
+        Tick t = from;
+        std::size_t wi = 0;
+        while (t < to) {
+            const Tick w = wi < wakes.size() ? wakes[wi] : kTickNever;
+            const Tick b = core->nextBoundaryTick(t);
+            const Tick stop = std::min({b, w, to});
+            if (stop > t) {
+                core->runUntil(t, stop);
+                t = stop;
+            }
+            if (t >= to)
+                break;
+            if (t == w) {
+                backend.completeOldest(t);
+                wi += 1;
+                continue; // wake invalidated the memo; re-predict
+            }
+            core->tick(t); // boundary tick: the non-private dispatch
+            t += 1;
+        }
+        ASSERT_EQ(wi, wakes.size()) << "batched driver missed a wake";
+    }
+};
+
+/** Counters that must match between the two drivers. */
+void
+expectSameState(const Harness &a, const Harness &b, const char *ctx)
+{
+    EXPECT_EQ(a.core->retired(), b.core->retired()) << ctx;
+    EXPECT_EQ(a.core->dispatchStalls(), b.core->dispatchStalls()) << ctx;
+    EXPECT_EQ(a.core->robOccupancySum(), b.core->robOccupancySum())
+        << ctx;
+    EXPECT_EQ(a.backend.pendingIds.size(), b.backend.pendingIds.size())
+        << ctx;
+    EXPECT_EQ(a.script.size(), b.script.size())
+        << ctx << ": drivers consumed different op counts";
+}
+
+class CoreBatch : public ::testing::Test
+{
+  protected:
+    // Any replay escape or tiling break raises a SimError instead of
+    // aborting, so a buggy batched run fails the test rather than the
+    // process.
+    CoreBatch() { setLogThrowOnError(true); }
+    ~CoreBatch() override { setLogThrowOnError(false); }
+
+    Harness ref, sub;
+
+    void
+    fillScripts(const std::vector<MicroOp> &ops)
+    {
+        for (const MicroOp &op : ops) {
+            ref.script.push_back(op);
+            sub.script.push_back(op);
+        }
+    }
+
+    /** Run both drivers over [from, to) with the same wake policy and
+     *  compare every shared counter. */
+    template <typename WakePred>
+    void
+    runBoth(Tick from, Tick to, WakePred wakeAt, const char *ctx)
+    {
+        const std::vector<Tick> wakes = ref.runPerTick(from, to, wakeAt);
+        sub.runBatched(from, to, wakes);
+        expectSameState(ref, sub, ctx);
+    }
+};
+
+TEST_F(CoreBatch, HitDominatedRunMatchesPerTickReplay)
+{
+    // Miss to prime line A, then a long L1-resident stretch: the batched
+    // driver should cover it in a handful of boundary events.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0x1000));
+    for (int i = 0; i < 40; ++i) {
+        ops.push_back(alu());
+        ops.push_back(load(0x1000 + (i % 8) * 8)); // same line, hits
+    }
+    fillScripts(ops);
+    runBoth(0, 300, [](Tick t) { return t == 25; }, "hit-dominated");
+    EXPECT_TRUE(ref.backend.pendingIds.empty());
+}
+
+TEST_F(CoreBatch, RobFullTransitionInsideRunMatches)
+{
+    // A parked miss at the ROB head while ALUs keep dispatching: the
+    // run crosses dispatch-active -> ROB-full -> pure-stall without an
+    // intervening memory boundary.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0x2000)); // miss, parks at head
+    for (int i = 0; i < 200; ++i)
+        ops.push_back(alu());
+    fillScripts(ops);
+    runBoth(0, 400, [](Tick t) { return t == 180; }, "rob-full");
+    EXPECT_TRUE(ref.backend.pendingIds.empty());
+}
+
+TEST_F(CoreBatch, DependentLoadStallInsideRunMatches)
+{
+    // Pointer chase within the L1: the dependent hit must stall until
+    // the previous load's data is ready, inside a batched run.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0x3000)); // miss, primes the line
+    for (int i = 0; i < 20; ++i) {
+        ops.push_back(load(0x3000, /*dependent=*/true));
+        ops.push_back(alu());
+    }
+    fillScripts(ops);
+    runBoth(0, 300, [](Tick t) { return t == 30; }, "dependent-chain");
+    EXPECT_TRUE(ref.backend.pendingIds.empty());
+}
+
+TEST_F(CoreBatch, EarlyWakeLandsInsideAPredictedRun)
+{
+    // Two independent misses; the first wake arrives while the core is
+    // mid-compute on L1 hits, one tick after a run begins.  The wake
+    // must invalidate the boundary memo and re-tile cleanly.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0x4000)); // miss 1
+    ops.push_back(load(0x5000)); // miss 2 (independent, overlaps)
+    for (int i = 0; i < 60; ++i) {
+        ops.push_back(alu());
+        ops.push_back(load(0x4000, /*dependent=*/(i % 4 == 0)));
+    }
+    fillScripts(ops);
+    runBoth(
+        0, 400, [](Tick t) { return t == 21 || t == 57; }, "early-wake");
+    EXPECT_TRUE(ref.backend.pendingIds.empty());
+}
+
+TEST_F(CoreBatch, StoresRetireInsideRunsAndBoundOnStoreMiss)
+{
+    // Store misses leave the L1 (a boundary) but retire immediately;
+    // store hits stay inside the run.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0x6000));
+    for (int i = 0; i < 15; ++i) {
+        ops.push_back(store(0x6000 + (i % 8) * 8)); // hits after prime
+        ops.push_back(alu());
+    }
+    ops.push_back(store(0x7000)); // write-allocate miss: boundary
+    for (int i = 0; i < 15; ++i)
+        ops.push_back(alu());
+    fillScripts(ops);
+    runBoth(
+        0, 300, [](Tick t) { return t == 20 || t == 90; }, "stores");
+    EXPECT_TRUE(ref.backend.pendingIds.empty());
+}
+
+TEST_F(CoreBatch, BlockedDrainIsPureClosedFormStall)
+{
+    // A miss that is never completed: the core wedges (parked head,
+    // ROB fills, dependent fetch blocked).  nextBoundaryTick must say
+    // kTickNever and the whole blocked region must integrate in closed
+    // form with per-tick-identical accounting.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0x8000));
+    ops.push_back(load(0x8000, /*dependent=*/true));
+    fillScripts(ops);
+    runBoth(0, 120, [](Tick) { return false; }, "wedge");
+
+    // Both are now fully blocked; the batched side must see no boundary.
+    EXPECT_EQ(sub.core->nextBoundaryTick(120), kTickNever);
+    const std::vector<Tick> none;
+    for (Tick t = 120; t < 1120; ++t)
+        ref.core->tick(t);
+    const std::uint64_t steppedTicks = sub.core->runUntil(120, 1120);
+    EXPECT_EQ(steppedTicks, 0u) << "blocked region must not be stepped";
+    expectSameState(ref, sub, "drain");
+    EXPECT_EQ(ref.backend.pendingIds.size(), 1u);
+}
+
+TEST_F(CoreBatch, PureAluStreamCapsAtAConservativeEarlyBoundary)
+{
+    // No memory ops at all: prediction gives up after its iteration cap
+    // with a conservative-early boundary.  Early is sound — the event
+    // fires mid-compute and prediction resumes — so the batched driver
+    // still matches per-tick exactly.
+    runBoth(0, 500, [](Tick) { return false; }, "pure-alu");
+
+    const Tick b = sub.core->nextBoundaryTick(500);
+    EXPECT_GT(b, Tick{500});
+    EXPECT_LE(b, Tick{500 + 64})
+        << "cap must bound prediction work per call";
+}
+
+TEST_F(CoreBatch, RandomizedStreamsMatchPerTickReplay)
+{
+    // Property sweep: random op mixes (hits, misses, dependent chases,
+    // stores) under a random wake cadence.  Several seeds, exact-match
+    // counters each time.
+    for (std::uint64_t seed : {0x11aULL, 0x22bULL, 0x33cULL}) {
+        Harness r, s;
+        Rng rng(seed);
+        std::vector<MicroOp> ops;
+        Addr hot = 0x10000;
+        for (int i = 0; i < 400; ++i) {
+            const double dice = rng.uniform();
+            if (dice < 0.55) {
+                ops.push_back(alu());
+            } else if (dice < 0.75) {
+                ops.push_back(load(hot + rng.below(8) * 8));
+            } else if (dice < 0.85) {
+                ops.push_back(load(hot, /*dependent=*/true));
+            } else if (dice < 0.93) {
+                ops.push_back(store(hot + rng.below(8) * 8));
+            } else {
+                hot += 0x40; // new line: a compulsory miss
+                ops.push_back(load(hot));
+            }
+        }
+        for (const MicroOp &op : ops) {
+            r.script.push_back(op);
+            s.script.push_back(op);
+        }
+        const auto wakes = r.runPerTick(0, 3000, [&](Tick t) {
+            return t % 23 == 7; // steady drain keeps MLP bounded
+        });
+        s.runBatched(0, 3000, wakes);
+        expectSameState(r, s, "randomized");
+    }
+}
+
+TEST_F(CoreBatch, TilingBreakIsFlaggedByChecker)
+{
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    sub.core->runUntil(0, 5);
+    sub.core->runUntil(7, 9); // hole at [5, 7): not a tiling
+    EXPECT_EQ(checker.count(Rule::CoreBatch), 1u) << checker.report();
+    checker.disable();
+}
+
+TEST_F(CoreBatch, ReplayEscapeIsFlaggedByChecker)
+{
+    // Force an illegal replay region: the first dispatch is a miss, so
+    // a batched run across it escapes the private L1.
+    sub.script.push_back(load(0x9000));
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    sub.core->runUntil(0, 3);
+    EXPECT_GE(checker.count(Rule::CoreBatch), 1u) << checker.report();
+    checker.disable();
+}
+
+TEST_F(CoreBatch, ShadowAccountingAcceptsLegalClosedFormRuns)
+{
+    // With the checker armed, stall gaps are replayed per-tick and
+    // cross-checked against the closed form; a legal run produces no
+    // core_batch violations.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0xa000));
+    for (int i = 0; i < 30; ++i)
+        ops.push_back(alu());
+    fillScripts(ops);
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    runBoth(0, 200, [](Tick t) { return t == 90; }, "shadow");
+    EXPECT_EQ(checker.count(Rule::CoreBatch), 0u) << checker.report();
+    checker.disable();
+}
+
+TEST_F(CoreBatch, BoundaryMemoSurvivesOnPathExecutionOnly)
+{
+    // Memoized boundary is stable across repeated queries, and a wake
+    // (an off-path input change) recomputes it.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(0xb000));
+    fillScripts(ops);
+    const Tick b0 = sub.core->nextBoundaryTick(0);
+    EXPECT_EQ(b0, Tick{0}) << "first dispatch is a miss";
+    EXPECT_EQ(sub.core->nextBoundaryTick(0), b0);
+
+    // Execute through the boundary; park the load, then wake it.
+    const std::vector<Tick> none;
+    sub.runBatched(0, 10, none);
+    const Tick b1 = sub.core->nextBoundaryTick(10);
+    sub.backend.completeOldest(10);
+    // The wake re-arms retirement: prediction must change (the parked
+    // region is gone), which requires the memo to have been dropped.
+    const Tick b2 = sub.core->nextBoundaryTick(10);
+    EXPECT_NE(b1, b2) << "wake must invalidate the boundary memo";
+}
+
+} // namespace

@@ -158,6 +158,108 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
+class FuzzBatchDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<MemConfig, const char *, std::uint64_t>>
+{
+};
+
+TEST_P(FuzzBatchDifferential, BatchedCoresMatchPerTickCoresMidRun)
+{
+    // Batched core execution against per-tick core stepping, both on
+    // the event engine, validator armed.  Tracing forces batching off
+    // (replay emits records out of global tick order), so this
+    // differential runs untraced and instead pins the *mid-run*
+    // trajectory: a per-core stat snapshot at every completion
+    // milestone, plus the final report, must be identical — batching
+    // may only change when core work is computed, never what.
+    const auto [mem, bench, seed] = GetParam();
+    auto &checker = Checker::instance();
+
+    auto runOnce = [&](bool batch, std::string &report) {
+        checker.enable(Mode::Collect);
+        std::vector<std::string> snaps;
+        {
+            SystemParams p;
+            p.mem = mem;
+            p.seed = seed;
+            System system(p, workloads::suite::byName(bench), 8);
+            system.setEngine(Engine::Event);
+            system.setCoreBatching(batch);
+            EXPECT_EQ(system.coreBatchingEnabled(), batch);
+            const auto &stats = system.hierarchy().stats();
+            const Tick deadline = system.now() + 50'000'000;
+            std::uint64_t next_snap = 100;
+            while (stats.demandCompletions.value() < 800 &&
+                   system.now() < deadline) {
+                system.step(deadline);
+                if (stats.demandCompletions.value() >= next_snap) {
+                    // Batched runs leave core counters lazily pending;
+                    // flush before sampling, as any mid-run consumer
+                    // must.
+                    system.syncComponents();
+                    std::ostringstream os;
+                    os << "done=" << stats.demandCompletions.value()
+                       << " t=" << system.now()
+                       << " ipc=" << system.aggregateIpc();
+                    for (const double ipc : system.perCoreIpc())
+                        os << " " << ipc;
+                    snaps.push_back(os.str());
+                    next_snap += 100;
+                }
+            }
+            EXPECT_GE(stats.demandCompletions.value(), 800u);
+            EXPECT_TRUE(checker.violations().empty()) << checker.report();
+        }
+        {
+            // Fresh system, same seed: the end-to-end report.
+            SystemParams p;
+            p.mem = mem;
+            p.seed = seed;
+            System system(p, workloads::suite::byName(bench), 8);
+            system.setEngine(Engine::Event);
+            system.setCoreBatching(batch);
+            RunConfig rc;
+            rc.measureReads = 600;
+            rc.warmupReads = 200;
+            const RunResult r = runSimulation(system, rc);
+            EXPECT_GT(r.demandReads, 0u);
+            EXPECT_TRUE(checker.violations().empty()) << checker.report();
+            report = renderReportJson(system, r);
+        }
+        checker.disable();
+        return snaps;
+    };
+
+    std::string batched_report, stepped_report;
+    const auto batched = runOnce(true, batched_report);
+    const auto stepped = runOnce(false, stepped_report);
+
+    ASSERT_GT(batched.size(), 0u);
+    ASSERT_EQ(batched.size(), stepped.size());
+    for (std::size_t i = 0; i < batched.size(); ++i)
+        ASSERT_EQ(batched[i], stepped[i])
+            << "batching divergence at snapshot " << i;
+    EXPECT_EQ(batched_report, stepped_report);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSweep, FuzzBatchDifferential,
+    ::testing::Values(
+        std::make_tuple(MemConfig::BaselineDDR3, "milc", 0xfeedULL),
+        std::make_tuple(MemConfig::CwfRL, "mcf", 0xbeefULL),
+        std::make_tuple(MemConfig::CwfRLAdaptive, "leslie3d", 11ULL),
+        std::make_tuple(MemConfig::HmcCdf, "libquantum", 17ULL)),
+    [](const auto &info) {
+        std::string name = std::string(toString(std::get<0>(info.param))) +
+                           "_" + std::get<1>(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
 TEST(FuzzChannel, BurstyStormDrainsCleanWithNoLeaks)
 {
     // A harsher stream than the property sweep: ~1k requests injected in

@@ -113,6 +113,26 @@ TEST_P(GoldenRun, EventAndTickEnginesAreBitIdentical)
         << spec.key << ": engines must be bit-identical";
 }
 
+TEST_P(GoldenRun, BatchedAndPerTickCoresAreBitIdentical)
+{
+    // Batched core execution (HETSIM_CORE_BATCH, event engine only) is
+    // a pure scheduling optimization: closed-form compute runs between
+    // memory events must leave every golden artifact byte-identical to
+    // per-tick core stepping, with no re-bless.
+    const GoldenSpec &spec = GetParam();
+    setenv("HETSIM_ENGINE", "event", 1);
+    setenv("HETSIM_CORE_BATCH", "1", 1);
+    const GoldenOutcome batched = runGolden(spec);
+    setenv("HETSIM_CORE_BATCH", "0", 1);
+    const GoldenOutcome stepped = runGolden(spec);
+    unsetenv("HETSIM_CORE_BATCH");
+    unsetenv("HETSIM_ENGINE");
+    EXPECT_EQ(batched.digest, stepped.digest) << spec.key;
+    EXPECT_EQ(batched.fullReport, stepped.fullReport)
+        << spec.key
+        << ": batched runs must be bit-identical to per-tick stepping";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PaperConfigs, GoldenRun, ::testing::ValuesIn(goldenSpecs()),
     [](const ::testing::TestParamInfo<GoldenSpec> &info) {
