@@ -230,6 +230,8 @@ Hierarchy::onCriticalArrived(std::uint64_t mshr_id, Tick now,
         stats_.servedByFast.inc();
         stats_.criticalWordLatency.sample(
             static_cast<double>(now - entry.allocTick));
+        stats_.criticalWordLatencyHist.sample(
+            static_cast<double>(now - entry.allocTick));
     }
 }
 
@@ -268,6 +270,8 @@ Hierarchy::onLineCompleted(std::uint64_t mshr_id, Tick now)
                                  entry.storedCriticalWord;
     if (!entry.isPrefetch && !served_fast) {
         stats_.criticalWordLatency.sample(
+            static_cast<double>(now - entry.allocTick));
+        stats_.criticalWordLatencyHist.sample(
             static_cast<double>(now - entry.allocTick));
     }
 
@@ -425,6 +429,8 @@ Hierarchy::registerStats(StatRegistry &registry) const
                  &stats_.criticalWordLatency);
     h.addAverage("fast_lead_ticks", &stats_.fastLead);
     h.addAverage("second_access_gap_ticks", &stats_.secondAccessGap);
+    h.addHistogram("critical_word_latency_ticks_hist",
+                   &stats_.criticalWordLatencyHist);
     h.addHistogram("fast_lead_ticks_hist", &stats_.fastLeadHist);
     h.addHistogram("early_wake_lead_ticks", &stats_.earlyWakeLeadHist);
     h.addHistogram("miss_latency_ticks", &stats_.missLatencyHist);

@@ -150,6 +150,9 @@ class Hierarchy
         Average secondAccessGap;      ///< alloc -> second-word access
         Counter secondAccesses;
         Counter secondBeforeComplete;
+        /** Requested-word latency distribution (same samples as the
+         *  criticalWordLatency average; p50/p99 for fault campaigns). */
+        Histogram criticalWordLatencyHist{4.0, 512};
         /** Fast-vs-slow fragment arrival gap distribution, ticks. */
         Histogram fastLeadHist{4.0, 512};
         /** How much earlier an early-woken load ran vs waiting for the

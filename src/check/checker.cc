@@ -81,6 +81,10 @@ toString(Rule rule)
         return "event_queue";
       case Rule::CoreBatch:
         return "core_batch";
+      case Rule::Fault:
+        return "fault";
+      case Rule::NoProgress:
+        return "no_progress";
     }
     return "?";
 }
@@ -146,6 +150,7 @@ Checker::clearState()
     mshrLive_.clear();
     cwfLive_.clear();
     hmcCritical_.clear();
+    faultLive_.clear();
 }
 
 std::size_t
@@ -616,7 +621,8 @@ Checker::mshrDomainDestroyed(const void *domain)
 // --------------------------------------------------------------------
 
 void
-Checker::cwfFillIssued(const void *domain, std::uint64_t id, Tick at)
+Checker::cwfFillIssued(const void *domain, std::uint64_t id, Tick at,
+                       bool has_fast)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] =
@@ -628,6 +634,7 @@ Checker::cwfFillIssued(const void *domain, std::uint64_t id, Tick at)
         return;
     }
     it->second.issued = at;
+    it->second.hasFast = has_fast;
 }
 
 void
@@ -679,17 +686,40 @@ Checker::cwfComplete(const void *domain, std::uint64_t id, Tick fast_tick,
         return;
     }
     const FillState &fill = it->second;
-    if (fill.fastTick == kTickNever || fill.slowTick == kTickNever) {
-        violate(Rule::CwfCompletion, done_tick,
-                "fill " + std::to_string(id),
-                "completed before both fragments arrived");
-    }
-    if (done_tick != std::max(fast_tick, slow_tick)) {
-        violate(Rule::CwfCompletion, done_tick,
-                "fill " + std::to_string(id),
-                "completion tick " + std::to_string(done_tick) +
-                    " != max(fast " + std::to_string(fast_tick) +
-                    ", slow " + std::to_string(slow_tick) + ")");
+    if (!fill.hasFast) {
+        // Degraded slow-only fill: no fast fragment is ever expected
+        // and completion is defined by the slow fragment alone.
+        if (fill.slowTick == kTickNever) {
+            violate(Rule::CwfCompletion, done_tick,
+                    "fill " + std::to_string(id),
+                    "slow-only fill completed before its slow fragment");
+        }
+        if (fill.fastTick != kTickNever) {
+            violate(Rule::CwfFragment, done_tick,
+                    "fill " + std::to_string(id),
+                    "slow-only fill received a fast fragment at " +
+                        std::to_string(fill.fastTick));
+        }
+        if (done_tick != slow_tick) {
+            violate(Rule::CwfCompletion, done_tick,
+                    "fill " + std::to_string(id),
+                    "slow-only completion tick " +
+                        std::to_string(done_tick) + " != slow " +
+                        std::to_string(slow_tick));
+        }
+    } else {
+        if (fill.fastTick == kTickNever || fill.slowTick == kTickNever) {
+            violate(Rule::CwfCompletion, done_tick,
+                    "fill " + std::to_string(id),
+                    "completed before both fragments arrived");
+        }
+        if (done_tick != std::max(fast_tick, slow_tick)) {
+            violate(Rule::CwfCompletion, done_tick,
+                    "fill " + std::to_string(id),
+                    "completion tick " + std::to_string(done_tick) +
+                        " != max(fast " + std::to_string(fast_tick) +
+                        ", slow " + std::to_string(slow_tick) + ")");
+        }
     }
     if (fill.secdedChecks != 1) {
         violate(Rule::CwfSecded, done_tick, "fill " + std::to_string(id),
@@ -840,6 +870,61 @@ Checker::hmcDelivery(const void *domain, std::uint64_t id, bool critical,
 }
 
 // --------------------------------------------------------------------
+// Fault-injection accounting
+// --------------------------------------------------------------------
+
+void
+Checker::faultInjected(const void *domain, std::uint64_t fault_id,
+                       const char *cls, Tick at)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        faultLive_.emplace(std::make_pair(domain, fault_id), at);
+    if (!inserted) {
+        violate(Rule::Fault, at, "fault " + std::to_string(fault_id),
+                std::string("duplicate injection of fault id (class ") +
+                    cls + ")");
+    }
+}
+
+void
+Checker::faultResolved(const void *domain, std::uint64_t fault_id,
+                       const char *resolution, Tick at)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (faultLive_.erase({domain, fault_id}) == 0) {
+        violate(Rule::Fault, at, "fault " + std::to_string(fault_id),
+                std::string("resolution '") + resolution +
+                    "' for a fault that is not live (double-resolve or "
+                    "never injected)");
+    }
+}
+
+void
+Checker::faultDomainDestroyed(const void *domain)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    eraseDomain(faultLive_, domain);
+}
+
+// --------------------------------------------------------------------
+// Liveness
+// --------------------------------------------------------------------
+
+void
+Checker::noProgress(const char *what, Tick at, std::size_t pending,
+                    std::uint64_t spins)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::NoProgress, at, what,
+            "no forward progress: " + std::to_string(spins) +
+                " same-tick wake-ups at tick " + std::to_string(at) +
+                " with " + std::to_string(pending) +
+                " events still pending (a component keeps re-arming "
+                "the current tick)");
+}
+
+// --------------------------------------------------------------------
 // Event-engine wake-up contract
 // --------------------------------------------------------------------
 
@@ -935,6 +1020,14 @@ Checker::finalizeAll()
                 "critical packet delivered but bulk packet never followed");
     }
     hmcCritical_.clear();
+    for (const auto &[key, tick] : faultLive_) {
+        violate(Rule::Fault, tick,
+                "fault " + std::to_string(key.second),
+                "fault injected at tick " + std::to_string(tick) +
+                    " never resolved (must be corrected, retried, or "
+                    "escalated)");
+    }
+    faultLive_.clear();
 }
 
 } // namespace hetsim::check

@@ -84,6 +84,8 @@ enum class Rule : std::uint8_t {
     PhaseLedger,     ///< phase ledger does not partition [enqueue, complete]
     EventQueue,      ///< event armed in the past / component overslept
     CoreBatch,       ///< batched core run broke tiling / escaped the L1
+    Fault,           ///< injected fault never resolved / double-resolved
+    NoProgress,      ///< non-empty event queue stopped advancing
 };
 
 const char *toString(Rule rule);
@@ -164,7 +166,10 @@ class Checker
     void mshrDomainDestroyed(const void *domain);
 
     // ---- CWF two-fragment fill protocol ----
-    void cwfFillIssued(const void *domain, std::uint64_t id, Tick at);
+    /** @p has_fast is false for degraded (slow-only) fills, which are
+     *  exempt from the fast-fragment and SECDED-pairing rules. */
+    void cwfFillIssued(const void *domain, std::uint64_t id, Tick at,
+                       bool has_fast = true);
     void cwfFragment(const void *domain, std::uint64_t id, bool fast,
                      Tick at);
     void cwfSecded(const void *domain, std::uint64_t id, Tick at);
@@ -184,6 +189,22 @@ class Checker
     // ---- HMC packet ordering ----
     void hmcDelivery(const void *domain, std::uint64_t id, bool critical,
                      Tick at);
+
+    // ---- fault-injection accounting (Rule::Fault) ----
+    /** A fault entered the system; it must be resolved exactly once. */
+    void faultInjected(const void *domain, std::uint64_t fault_id,
+                       const char *cls, Tick at);
+    /** The recovery ladder disposed of fault @p fault_id. */
+    void faultResolved(const void *domain, std::uint64_t fault_id,
+                       const char *resolution, Tick at);
+    void faultDomainDestroyed(const void *domain);
+
+    // ---- liveness (Rule::NoProgress, stateless) ----
+    /** A non-empty queue popped @p spins same-tick events at @p at
+     *  without the clock advancing: the system has stopped making
+     *  progress (a mis-armed component re-arming the current tick). */
+    void noProgress(const char *what, Tick at, std::size_t pending,
+                    std::uint64_t spins);
 
     // ---- event-engine wake-up contract (stateless) ----
     /** A component armed an event at @p at while the engine already sat
@@ -269,6 +290,7 @@ class Checker
         Tick fastTick = kTickNever;
         Tick slowTick = kTickNever;
         unsigned secdedChecks = 0;
+        bool hasFast = true; ///< false: degraded slow-only fill
     };
 
     ChannelState &stateFor(const void *chan, const std::string &name,
@@ -298,6 +320,8 @@ class Checker
     std::map<std::pair<const void *, std::uint64_t>, Tick> mshrLive_;
     std::map<std::pair<const void *, std::uint64_t>, FillState> cwfLive_;
     std::map<std::pair<const void *, std::uint64_t>, Tick> hmcCritical_;
+    /** Injected-but-unresolved faults (leak check in finalizeAll). */
+    std::map<std::pair<const void *, std::uint64_t>, Tick> faultLive_;
 };
 
 // --------------------------------------------------------------------
@@ -367,9 +391,10 @@ onMshrDomainDestroyed(const void *domain)
 }
 
 inline void
-onCwfFillIssued(const void *domain, std::uint64_t id, Tick at)
+onCwfFillIssued(const void *domain, std::uint64_t id, Tick at,
+                bool has_fast = true)
 {
-    HETSIM_CHECK_HOOK(cwfFillIssued(domain, id, at));
+    HETSIM_CHECK_HOOK(cwfFillIssued(domain, id, at, has_fast));
 }
 
 inline void
@@ -423,6 +448,33 @@ inline void
 onHmcDelivery(const void *domain, std::uint64_t id, bool critical, Tick at)
 {
     HETSIM_CHECK_HOOK(hmcDelivery(domain, id, critical, at));
+}
+
+inline void
+onFaultInjected(const void *domain, std::uint64_t fault_id, const char *cls,
+                Tick at)
+{
+    HETSIM_CHECK_HOOK(faultInjected(domain, fault_id, cls, at));
+}
+
+inline void
+onFaultResolved(const void *domain, std::uint64_t fault_id,
+                const char *resolution, Tick at)
+{
+    HETSIM_CHECK_HOOK(faultResolved(domain, fault_id, resolution, at));
+}
+
+inline void
+onFaultDomainDestroyed(const void *domain)
+{
+    HETSIM_CHECK_HOOK(faultDomainDestroyed(domain));
+}
+
+inline void
+onNoProgress(const char *what, Tick at, std::size_t pending,
+             std::uint64_t spins)
+{
+    HETSIM_CHECK_HOOK(noProgress(what, at, pending, spins));
 }
 
 inline void

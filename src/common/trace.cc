@@ -60,6 +60,8 @@ toString(Event event)
         return "secded_check";
       case Event::PhaseSpan:
         return "phase_span";
+      case Event::FaultRetry:
+        return "fault_retry";
     }
     return "?";
 }

@@ -20,6 +20,25 @@
 namespace hetsim::cwf
 {
 
+namespace
+{
+
+/** Effective fault knobs: the legacy `parityErrorRate` Bernoulli knob
+ *  folds into the unified model as extra transient rate on the fast
+ *  critical-word path, and an unset fault seed derives from the
+ *  backend seed so same-seed runs hit the same fault sites. */
+fault::FaultParams
+cwfFaultParams(const CwfHeteroMemory::Params &params)
+{
+    fault::FaultParams p = params.fault;
+    p.fastExtraTransient += params.parityErrorRate;
+    if (p.seed == 0)
+        p.seed = params.seed;
+    return p;
+}
+
+} // namespace
+
 CwfHeteroMemory::CwfHeteroMemory(const Params &params,
                                  std::unique_ptr<LineLayout> layout)
     : params_(params), layout_(std::move(layout)),
@@ -36,7 +55,8 @@ CwfHeteroMemory::CwfHeteroMemory(const Params &params,
       fast_(params.fastDevice, params.fastSubChannels,
             params.ranksPerFastSub, params.fastChipsPerRank, params.sched,
             params.sharedCommandBus),
-      rng_(params.seed)
+      faultModel_(cwfFaultParams(params)), retryLadder_(faultModel_),
+      subDegraded_(params.fastSubChannels, false)
 {
     sim_assert(layout_, "CWF memory needs a line layout");
     sim_assert(params_.slowChannels == params_.fastSubChannels,
@@ -72,6 +92,13 @@ CwfHeteroMemory::plannedCriticalWord(Addr line_addr,
                                      unsigned requested_word,
                                      bool is_demand)
 {
+    // Degraded mode: a retired fast sub-channel no longer serves
+    // critical words, so its lines are not fragmented.  Degradation
+    // only flips inside backend tick callbacks, never between this call
+    // and the requestFill of the same access, so plan and issue agree.
+    if (retiredSubs_ != 0 &&
+        subDegraded_[fastSubOf(line_addr >> kLineShift)])
+        return kNoFastWord;
     return layout_->plannedWord(line_addr, requested_word, is_demand);
 }
 
@@ -99,8 +126,11 @@ CwfHeteroMemory::canAcceptFill(Addr line_addr) const
     const std::uint64_t line = line_addr >> kLineShift;
     const unsigned slow_ch = slowMap_.channelOf(line);
     const unsigned sub = fastSubOf(line);
-    return slow_[slow_ch]->canAccept(AccessType::Read) &&
-           fast_.sub(sub).canAccept(AccessType::Read);
+    if (!slow_[slow_ch]->canAccept(AccessType::Read))
+        return false;
+    // A degraded line is served slow-only; the retired fast sub-channel
+    // exerts no backpressure on it.
+    return subDegraded_[sub] || fast_.sub(sub).canAccept(AccessType::Read);
 }
 
 void
@@ -109,9 +139,14 @@ CwfHeteroMemory::requestFill(const FillRequest &request, Tick now)
     const std::uint64_t line = request.lineAddr >> kLineShift;
     const AccessType type =
         request.isPrefetch ? AccessType::Prefetch : AccessType::Read;
+    const bool degraded = subDegraded_[fastSubOf(line)];
 
-    pending_.emplace(request.mshrId, PendingFill{});
-    check::onCwfFillIssued(this, request.mshrId, now);
+    PendingFill fill;
+    fill.slowOnly = degraded;
+    fill.issued = now;
+    pending_.emplace(request.mshrId, fill);
+    check::onCwfFillIssued(this, request.mshrId, now,
+                           /*has_fast=*/!degraded);
 
     dram::MemRequest slow_req;
     slow_req.id = nextReqId_++;
@@ -122,6 +157,11 @@ CwfHeteroMemory::requestFill(const FillRequest &request, Tick now)
     slow_req.part = dram::MemRequest::kRestPart;
     slow_req.coord = slowMap_.decode(line);
     slow_[slow_req.coord.channel]->enqueue(slow_req, now);
+
+    if (degraded) {
+        faultModel_.noteDegradedFill();
+        return;
+    }
 
     dram::MemRequest fast_req;
     fast_req.id = nextReqId_++;
@@ -140,8 +180,9 @@ CwfHeteroMemory::canAcceptWriteback(Addr line_addr) const
     const std::uint64_t line = line_addr >> kLineShift;
     const unsigned slow_ch = slowMap_.channelOf(line);
     const unsigned sub = fastSubOf(line);
-    return slow_[slow_ch]->canAccept(AccessType::Write) &&
-           fast_.sub(sub).canAccept(AccessType::Write);
+    if (!slow_[slow_ch]->canAccept(AccessType::Write))
+        return false;
+    return subDegraded_[sub] || fast_.sub(sub).canAccept(AccessType::Write);
 }
 
 void
@@ -161,6 +202,11 @@ CwfHeteroMemory::requestWriteback(Addr line_addr, Tick now)
     slow_req.coord = slowMap_.decode(line);
     slow_[slow_req.coord.channel]->enqueue(slow_req, now);
 
+    // The retired fast copy of a degraded line is out of service; the
+    // slow channel holds the authoritative data.
+    if (subDegraded_[fastSubOf(line)])
+        return;
+
     dram::MemRequest fast_req;
     fast_req.id = nextReqId_++;
     fast_req.lineAddr = line_addr;
@@ -179,6 +225,23 @@ CwfHeteroMemory::onSlowResponse(dram::MemRequest &req)
     sim_assert(it != pending_.end(), "slow response without pending fill");
     PendingFill &p = it->second;
     sim_assert(!p.slowDone, "duplicate slow fragment");
+
+    // Recovery ladder (DESIGN.md section 15): run fault injection on
+    // the bulk fragment before it is accepted.  A correctable error is
+    // fixed in place by SECDED/chipkill; an uncorrectable one parks a
+    // backed-off re-read and the fragment is NOT accepted — the retry
+    // arrives later through this same handler with a fresh request, so
+    // the fragment/SECDED protocol checks fire once, on the accepted
+    // arrival only.
+    if (!retryLadder_.onReadComplete(fault::ReadPath::SlowBulk,
+                                     req.lineAddr, req.coord, req.cookie,
+                                     req.coreId, req.complete)) {
+        HETSIM_TRACE_EVENT(trace::Event::FaultRetry, req.complete,
+                           req.cookie, req.lineAddr, req.coreId,
+                           req.coord.channel, req.part, 0);
+        return;
+    }
+
     check::onCwfFragment(this, req.cookie, /*fast=*/false, req.complete);
     p.slowDone = true;
     p.slowTick = req.complete;
@@ -206,11 +269,21 @@ CwfHeteroMemory::onFastResponse(dram::MemRequest &req)
     p.fastTick = req.complete;
     fastLatency_.sample(static_cast<double>(req.totalLatency()));
 
+    // Byte parity on the fast word is detect-only: any injected fault
+    // fails parity, the early wake is cancelled, and the word is served
+    // from the SECDED-protected bulk copy when the line completes
+    // (resolution recorded in maybeComplete).  Persistent faults
+    // accumulate per-site history and eventually retire the sub-channel.
     bool parity_ok = true;
-    if (params_.parityErrorRate > 0 &&
-        rng_.chance(params_.parityErrorRate)) {
+    const fault::Injection inj =
+        faultModel_.onRead(fault::ReadPath::FastCritical, req.lineAddr,
+                           req.coord, req.complete);
+    if (inj.faulty()) {
         parity_ok = false;
         parityErrors_.inc();
+        p.fastFault = inj;
+        if (faultModel_.noteSiteFault(inj))
+            retireFastSub(req.coord.channel);
     }
     HETSIM_TRACE_EVENT(trace::Event::FastArrive, p.fastTick, req.cookie,
                        req.lineAddr, req.coreId, req.coord.channel,
@@ -223,6 +296,18 @@ CwfHeteroMemory::onFastResponse(dram::MemRequest &req)
 void
 CwfHeteroMemory::maybeComplete(std::uint64_t mshr_id, PendingFill &pending)
 {
+    if (pending.slowOnly) {
+        if (!pending.slowDone)
+            return;
+        const Tick done = pending.slowTick;
+        faultModel_.sampleDegradedLatency(done - pending.issued);
+        check::onCwfComplete(this, mshr_id, kTickNever, pending.slowTick,
+                             done);
+        pending_.erase(mshr_id);
+        if (cb_.lineCompleted)
+            cb_.lineCompleted(mshr_id, done);
+        return;
+    }
     if (!pending.fastDone || !pending.slowDone)
         return;
     const Tick done = std::max(pending.fastTick, pending.slowTick);
@@ -232,6 +317,12 @@ CwfHeteroMemory::maybeComplete(std::uint64_t mshr_id, PendingFill &pending)
                                    : 0;
         bulkWaitHist_.sample(static_cast<double>(bulk_wait));
     }
+    // A parity-detected fast-word fault is resolved here: the whole
+    // line (bulk copy included) has arrived, so the faulty word was
+    // corrected off the ECC-protected slow fragment.
+    if (pending.fastFault.faulty())
+        faultModel_.resolve(pending.fastFault, fault::Resolution::Corrected,
+                            done);
     check::onCwfComplete(this, mshr_id, pending.fastTick, pending.slowTick,
                          done);
     pending_.erase(mshr_id);
@@ -240,8 +331,46 @@ CwfHeteroMemory::maybeComplete(std::uint64_t mshr_id, PendingFill &pending)
 }
 
 void
+CwfHeteroMemory::retireFastSub(unsigned sub)
+{
+    if (subDegraded_[sub])
+        return;
+    subDegraded_[sub] = true;
+    ++retiredSubs_;
+    faultModel_.noteRegionRetired();
+    warn("CWF ", params_.configName, ": fast sub-channel ", sub,
+         " retired after repeated persistent faults; serving its lines "
+         "slow-only");
+}
+
+void
+CwfHeteroMemory::drainRetries(Tick now)
+{
+    if (retryLadder_.empty())
+        return;
+    retryLadder_.drain(now, [this, now](const fault::RetryRead &r) {
+        if (!slow_[r.coord.channel]->canAccept(AccessType::Read))
+            return false;
+        dram::MemRequest req;
+        req.id = nextReqId_++;
+        req.lineAddr = r.lineAddr;
+        req.type = AccessType::Read;
+        req.coreId = r.coreId;
+        req.cookie = r.cookie;
+        req.part = dram::MemRequest::kRestPart;
+        req.coord = r.coord;
+        slow_[req.coord.channel]->enqueue(req, now);
+        return true;
+    });
+}
+
+void
 CwfHeteroMemory::tick(Tick now)
 {
+    // Release due re-reads before the channels advance so a retry
+    // enqueued at tick T is scheduled exactly like a hierarchy request
+    // arriving at T (engine-order invariance).
+    drainRetries(now);
     for (auto &chan : slow_)
         chan->tick(now);
     fast_.tick(now);
@@ -250,6 +379,7 @@ CwfHeteroMemory::tick(Tick now)
 void
 CwfHeteroMemory::tickDue(Tick now)
 {
+    drainRetries(now);
     for (auto &chan : slow_) {
         if (chan->nextEventTick(now) > now)
             continue;
@@ -265,7 +395,9 @@ CwfHeteroMemory::nextEventTick(Tick now) const
     for (const auto &chan : slow_)
         next = std::min(next, chan->nextEventTick(now));
     // pending_ is purely callback-driven: a fill completes only when a
-    // channel delivers a fragment, so the channels bound every event.
+    // channel delivers a fragment, so the channels bound every event —
+    // except parked re-reads, whose backoff release is our own wake-up.
+    next = std::min(next, retryLadder_.nextRetryTick(now));
     return next;
 }
 
@@ -280,7 +412,7 @@ CwfHeteroMemory::fastForward(Tick from, Tick to)
 bool
 CwfHeteroMemory::idle() const
 {
-    if (!fast_.idle() || !pending_.empty())
+    if (!fast_.idle() || !pending_.empty() || !retryLadder_.empty())
         return false;
     return std::all_of(slow_.begin(), slow_.end(),
                        [](const auto &c) { return c->idle(); });
@@ -363,6 +495,11 @@ CwfHeteroMemory::registerStats(StatRegistry &registry) const
     g.addGauge("cmd_bus_conflicts", [this] {
         return static_cast<double>(fast_.arbiter().conflicts());
     });
+
+    // Only at nonzero rates: zero-rate runs keep their stat report (and
+    // golden digests) byte-identical to a build without the subsystem.
+    if (faultModel_.enabled())
+        faultModel_.registerStats(registry);
 }
 
 } // namespace hetsim::cwf

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "power/chip_power.hh"
 
 namespace hetsim::cwf
@@ -71,7 +72,8 @@ HomogeneousMemory::HomogeneousMemory(const Params &params)
                : dram::MapScheme::ClosePage,
            params.channels, params.ranksPerChannel,
            params.device.banksPerRank, params.device.rowsPerBank,
-           params.device.lineColsPerRow)
+           params.device.lineColsPerRow),
+      faultModel_(params.fault), retryLadder_(faultModel_)
 {
     for (unsigned c = 0; c < params_.channels; ++c) {
         channels_.push_back(std::make_unique<dram::Channel>(
@@ -86,10 +88,43 @@ HomogeneousMemory::setCallbacks(Callbacks callbacks)
     cb_ = std::move(callbacks);
     for (auto &chan : channels_) {
         chan->setCallback([this](dram::MemRequest &req) {
-            if (req.isRead() && cb_.lineCompleted)
+            if (!req.isRead())
+                return;
+            // Recovery ladder: an uncorrectable injected error parks a
+            // backed-off re-read instead of delivering the line; the
+            // retry lands back here with a fresh request.
+            if (!retryLadder_.onReadComplete(
+                    fault::ReadPath::SlowBulk, req.lineAddr, req.coord,
+                    req.cookie, req.coreId, req.complete)) {
+                HETSIM_TRACE_EVENT(trace::Event::FaultRetry, req.complete,
+                                   req.cookie, req.lineAddr, req.coreId,
+                                   req.coord.channel, req.part, 0);
+                return;
+            }
+            if (cb_.lineCompleted)
                 cb_.lineCompleted(req.cookie, req.complete);
         });
     }
+}
+
+void
+HomogeneousMemory::drainRetries(Tick now)
+{
+    if (retryLadder_.empty())
+        return;
+    retryLadder_.drain(now, [this, now](const fault::RetryRead &r) {
+        if (!channels_[r.coord.channel]->canAccept(AccessType::Read))
+            return false;
+        dram::MemRequest req;
+        req.id = nextReqId_++;
+        req.lineAddr = r.lineAddr;
+        req.type = AccessType::Read;
+        req.coreId = r.coreId;
+        req.cookie = r.cookie;
+        req.coord = r.coord;
+        channels_[req.coord.channel]->enqueue(req, now);
+        return true;
+    });
 }
 
 bool
@@ -135,6 +170,7 @@ void
 HomogeneousMemory::tick(Tick now)
 {
     lastNow_ = now;
+    drainRetries(now);
     for (auto &chan : channels_)
         chan->tick(now);
 }
@@ -143,6 +179,7 @@ void
 HomogeneousMemory::tickDue(Tick now)
 {
     lastNow_ = now;
+    drainRetries(now);
     for (auto &chan : channels_) {
         if (chan->nextEventTick(now) > now)
             continue; // inert this cycle; fastForward() integrates it
@@ -153,7 +190,7 @@ HomogeneousMemory::tickDue(Tick now)
 Tick
 HomogeneousMemory::nextEventTick(Tick now) const
 {
-    Tick next = kTickNever;
+    Tick next = retryLadder_.nextRetryTick(now);
     for (const auto &chan : channels_)
         next = std::min(next, chan->nextEventTick(now));
     return next;
@@ -169,6 +206,8 @@ HomogeneousMemory::fastForward(Tick, Tick to)
 bool
 HomogeneousMemory::idle() const
 {
+    if (!retryLadder_.empty())
+        return false;
     return std::all_of(channels_.begin(), channels_.end(),
                        [](const auto &c) { return c->idle(); });
 }
@@ -221,6 +260,8 @@ HomogeneousMemory::registerStats(StatRegistry &registry) const
 {
     for (const auto &chan : channels_)
         chan->registerStats(registry);
+    if (faultModel_.enabled())
+        faultModel_.registerStats(registry);
 }
 
 // ---------------------- PagePlacementMemory --------------------------
@@ -235,7 +276,8 @@ PagePlacementMemory::PagePlacementMemory(
       fastMap_(dram::MapScheme::ClosePage, 1, 1,
                params.fastDevice.banksPerRank,
                params.fastDevice.rowsPerBank,
-               params.fastDevice.lineColsPerRow)
+               params.fastDevice.lineColsPerRow),
+      faultModel_(params.fault), retryLadder_(faultModel_)
 {
     for (unsigned c = 0; c < params_.slowChannels; ++c) {
         slow_.push_back(std::make_unique<dram::Channel>(
@@ -297,13 +339,50 @@ void
 PagePlacementMemory::setCallbacks(Callbacks callbacks)
 {
     cb_ = std::move(callbacks);
+    // Every channel (hot RLDRAM3 included) carries whole ECC-protected
+    // lines, so one shared bulk recovery ladder covers both tiers.
     auto respond = [this](dram::MemRequest &req) {
-        if (req.isRead() && cb_.lineCompleted)
+        if (!req.isRead())
+            return;
+        if (!retryLadder_.onReadComplete(
+                fault::ReadPath::SlowBulk, req.lineAddr, req.coord,
+                req.cookie, req.coreId, req.complete)) {
+            HETSIM_TRACE_EVENT(trace::Event::FaultRetry, req.complete,
+                               req.cookie, req.lineAddr, req.coreId,
+                               req.coord.channel, req.part, 0);
+            return;
+        }
+        if (cb_.lineCompleted)
             cb_.lineCompleted(req.cookie, req.complete);
     };
     for (auto &chan : slow_)
         chan->setCallback(respond);
     fastChannel_->setCallback(respond);
+}
+
+void
+PagePlacementMemory::drainRetries(Tick now)
+{
+    if (retryLadder_.empty())
+        return;
+    retryLadder_.drain(now, [this, now](const fault::RetryRead &r) {
+        // The hot channel sits one past the slow channel indices (see
+        // makeRequest); route the re-read back to its original tier.
+        dram::Channel &chan = r.coord.channel >= params_.slowChannels
+                                  ? *fastChannel_
+                                  : *slow_[r.coord.channel];
+        if (!chan.canAccept(AccessType::Read))
+            return false;
+        dram::MemRequest req;
+        req.id = nextReqId_++;
+        req.lineAddr = r.lineAddr;
+        req.type = AccessType::Read;
+        req.coreId = r.coreId;
+        req.cookie = r.cookie;
+        req.coord = r.coord;
+        chan.enqueue(req, now);
+        return true;
+    });
 }
 
 bool
@@ -355,6 +434,7 @@ PagePlacementMemory::requestWriteback(Addr line_addr, Tick now)
 void
 PagePlacementMemory::tick(Tick now)
 {
+    drainRetries(now);
     for (auto &chan : slow_)
         chan->tick(now);
     fastChannel_->tick(now);
@@ -363,6 +443,7 @@ PagePlacementMemory::tick(Tick now)
 void
 PagePlacementMemory::tickDue(Tick now)
 {
+    drainRetries(now);
     for (auto &chan : slow_) {
         if (chan->nextEventTick(now) > now)
             continue;
@@ -378,6 +459,7 @@ PagePlacementMemory::nextEventTick(Tick now) const
     Tick next = fastChannel_->nextEventTick(now);
     for (const auto &chan : slow_)
         next = std::min(next, chan->nextEventTick(now));
+    next = std::min(next, retryLadder_.nextRetryTick(now));
     return next;
 }
 
@@ -392,7 +474,7 @@ PagePlacementMemory::fastForward(Tick, Tick to)
 bool
 PagePlacementMemory::idle() const
 {
-    if (!fastChannel_->idle())
+    if (!fastChannel_->idle() || !retryLadder_.empty())
         return false;
     return std::all_of(slow_.begin(), slow_.end(),
                        [](const auto &c) { return c->idle(); });
@@ -455,6 +537,8 @@ PagePlacementMemory::registerStats(StatRegistry &registry) const
     StatGroup &g = registry.group("core/hetero_memory");
     g.addCounter("fast_accesses", &fastAccesses_);
     g.addCounter("slow_accesses", &slowAccesses_);
+    if (faultModel_.enabled())
+        faultModel_.registerStats(registry);
 }
 
 } // namespace hetsim::cwf

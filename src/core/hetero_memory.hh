@@ -27,13 +27,13 @@
 #include <unordered_set>
 #include <vector>
 
-#include "common/rng.hh"
 #include "common/stats.hh"
 #include "core/agg_channel.hh"
 #include "core/line_layout.hh"
 #include "core/memory_backend.hh"
 #include "dram/address_map.hh"
 #include "dram/channel.hh"
+#include "fault/fault_model.hh"
 
 namespace hetsim::cwf
 {
@@ -60,6 +60,7 @@ class HomogeneousMemory : public MemoryBackend
         unsigned channels = 4;     // Table 1
         unsigned ranksPerChannel = 1;
         dram::SchedulerPolicy sched;
+        fault::FaultParams fault;  ///< injected on the bulk read path
     };
 
     explicit HomogeneousMemory(const Params &params);
@@ -85,18 +86,25 @@ class HomogeneousMemory : public MemoryBackend
     double rowHitRate() const override;
     const char *name() const override { return name_.c_str(); }
     void registerStats(StatRegistry &registry) const override;
+    const fault::FaultModel *faultModel() const override
+    {
+        return &faultModel_;
+    }
 
     dram::Channel &channel(unsigned i) { return *channels_.at(i); }
     const dram::AddressMap &addressMap() const { return map_; }
 
   private:
     std::vector<const dram::Channel *> channelViews() const;
+    void drainRetries(Tick now);
 
     Params params_;
     std::string name_;
     dram::AddressMap map_;
     std::vector<std::unique_ptr<dram::Channel>> channels_;
     Callbacks cb_;
+    fault::FaultModel faultModel_;
+    fault::BulkRetryLadder retryLadder_;
     std::uint64_t nextReqId_ = 1;
     Tick lastNow_ = 0;
 };
@@ -121,9 +129,12 @@ class CwfHeteroMemory : public MemoryBackend
          *  buses (one controller per critical-word channel). */
         bool sharedCommandBus = true;
         dram::SchedulerPolicy sched;
-        /** Injected probability that the fast fragment fails parity. */
+        /** Legacy knob: injected probability that the fast fragment
+         *  fails parity.  Folded into fault.fastExtraTransient at
+         *  construction — kept as a compatibility alias. */
         double parityErrorRate = 0.0;
         std::uint64_t seed = 1;
+        fault::FaultParams fault; ///< unified fault-injection knobs
     };
 
     CwfHeteroMemory(const Params &params,
@@ -149,6 +160,10 @@ class CwfHeteroMemory : public MemoryBackend
     double rowHitRate() const override;
     const char *name() const override { return params_.configName.c_str(); }
     void registerStats(StatRegistry &registry) const override;
+    const fault::FaultModel *faultModel() const override
+    {
+        return &faultModel_;
+    }
 
     LineLayout &layout() { return *layout_; }
     AggregatedFastChannel &fastChannel() { return fast_; }
@@ -163,13 +178,25 @@ class CwfHeteroMemory : public MemoryBackend
     const Average &slowFragmentLatency() const { return slowLatency_; }
     const Counter &parityErrorsInjected() const { return parityErrors_; }
 
+    /** True once any fast sub-channel has been retired (the hierarchy
+     *  is serving some lines slow-only). */
+    bool degradedMode() const { return retiredSubs_ != 0; }
+    bool fastSubRetired(unsigned sub) const { return subDegraded_[sub]; }
+
   private:
     struct PendingFill
     {
         bool fastDone = false;
         bool slowDone = false;
+        /** Degraded fill: no fast fragment was issued; completion is
+         *  defined by the slow fragment alone. */
+        bool slowOnly = false;
         Tick fastTick = 0;
         Tick slowTick = 0;
+        Tick issued = 0;
+        /** Parity-detected fast-word fault, resolved (served from the
+         *  SECDED-protected bulk copy) when the line completes. */
+        fault::Injection fastFault;
     };
 
     unsigned fastSubOf(std::uint64_t line_index) const;
@@ -177,6 +204,8 @@ class CwfHeteroMemory : public MemoryBackend
     void onSlowResponse(dram::MemRequest &req);
     void onFastResponse(dram::MemRequest &req);
     void maybeComplete(std::uint64_t mshr_id, PendingFill &pending);
+    void retireFastSub(unsigned sub);
+    void drainRetries(Tick now);
 
     Params params_;
     std::unique_ptr<LineLayout> layout_;
@@ -185,7 +214,11 @@ class CwfHeteroMemory : public MemoryBackend
     std::vector<std::unique_ptr<dram::Channel>> slow_;
     AggregatedFastChannel fast_;
     Callbacks cb_;
-    Rng rng_;
+    fault::FaultModel faultModel_;
+    fault::BulkRetryLadder retryLadder_;
+    /** Retired fast sub-channels (persistent-failure degradation). */
+    std::vector<bool> subDegraded_;
+    unsigned retiredSubs_ = 0;
     std::uint64_t nextReqId_ = 1;
 
     std::unordered_map<std::uint64_t, PendingFill> pending_;
@@ -210,6 +243,7 @@ class PagePlacementMemory : public MemoryBackend
         unsigned slowChannels = 3;
         unsigned ranksPerSlowChannel = 1;
         dram::SchedulerPolicy sched;
+        fault::FaultParams fault;  ///< injected on the bulk read path
     };
 
     PagePlacementMemory(const Params &params,
@@ -236,6 +270,10 @@ class PagePlacementMemory : public MemoryBackend
     double rowHitRate() const override;
     const char *name() const override { return "PagePlacement"; }
     void registerStats(StatRegistry &registry) const override;
+    const fault::FaultModel *faultModel() const override
+    {
+        return &faultModel_;
+    }
 
     const Counter &fastAccesses() const { return fastAccesses_; }
     const Counter &slowAccesses() const { return slowAccesses_; }
@@ -251,6 +289,7 @@ class PagePlacementMemory : public MemoryBackend
     dram::MemRequest makeRequest(Addr line_addr, AccessType type,
                                  std::uint64_t cookie);
     std::vector<const dram::Channel *> channelViews() const;
+    void drainRetries(Tick now);
 
     Params params_;
     std::unordered_set<std::uint64_t> hotPages_;
@@ -259,6 +298,8 @@ class PagePlacementMemory : public MemoryBackend
     std::vector<std::unique_ptr<dram::Channel>> slow_;
     std::unique_ptr<dram::Channel> fastChannel_;
     Callbacks cb_;
+    fault::FaultModel faultModel_;
+    fault::BulkRetryLadder retryLadder_;
     std::uint64_t nextReqId_ = 1;
 
     Counter fastAccesses_;

@@ -5,6 +5,7 @@
 
 #include "check/checker.hh"
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "core/hetero_memory.hh"
 
 namespace hetsim::cwf
@@ -56,7 +57,9 @@ HmcLikeMemory::HmcLikeMemory(const Params &params)
            vaultDevice().banksPerRank, vaultDevice().rowsPerBank,
            vaultDevice().lineColsPerRow),
       reqLink_(params.linkLatency, params.linkBytesPerTick),
-      respLink_(params.linkLatency, params.linkBytesPerTick)
+      respLink_(params.linkLatency, params.linkBytesPerTick),
+      faultModel_(params.fault), retryLadder_(faultModel_),
+      vaultCritDisabled_(params.vaults, false)
 {
     sim_assert(params_.vaults > 0, "cube needs vaults");
     const dram::DeviceParams dev = vaultDevice();
@@ -81,6 +84,18 @@ HmcLikeMemory::setCallbacks(Callbacks callbacks)
     }
 }
 
+unsigned
+HmcLikeMemory::plannedCriticalWord(Addr line_addr, unsigned requested_word,
+                                   bool)
+{
+    if (!params_.criticalFirst)
+        return kNoFastWord;
+    if (disabledVaults_ != 0 &&
+        vaultCritDisabled_[map_.channelOf(line_addr >> kLineShift)])
+        return kNoFastWord;
+    return requested_word;
+}
+
 bool
 HmcLikeMemory::canAcceptFill(Addr line_addr) const
 {
@@ -99,6 +114,14 @@ HmcLikeMemory::requestFill(const FillRequest &request, Tick now)
     req.coreId = request.coreId;
     req.cookie = request.mshrId;
     req.coord = map_.decode(request.lineAddr >> kLineShift);
+    // Latch the split decision in the part tag so the response side
+    // stays consistent even if the vault is retired while in flight.
+    const bool split = params_.criticalFirst &&
+                       !vaultCritDisabled_[req.coord.channel];
+    req.part = split ? dram::MemRequest::kCriticalPart
+                     : dram::MemRequest::kWholeLine;
+    if (params_.criticalFirst && !split)
+        faultModel_.noteDegradedFill();
     // The request packet (header only) crosses the request link before
     // the vault controller sees it; model by delaying the enqueue tick.
     const Tick arrive = reqLink_.send(now, params_.headerBytes, false);
@@ -132,28 +155,91 @@ HmcLikeMemory::onVaultResponse(dram::MemRequest &req)
     if (!req.isRead())
         return;
     const Tick done = req.complete;
-    if (params_.criticalFirst) {
+    // The vault-side ECC check on the bulk data decides acceptance
+    // before any response packet is scheduled; an uncorrectable error
+    // parks a backed-off re-read (kRestPart: bulk-only, the critical
+    // packet of the original attempt — if any — already went out).
+    const bool accepted = retryLadder_.onReadComplete(
+        fault::ReadPath::HmcBulk, req.lineAddr, req.coord, req.cookie,
+        req.coreId, done);
+    if (!accepted) {
+        HETSIM_TRACE_EVENT(trace::Event::FaultRetry, done, req.cookie,
+                           req.lineAddr, req.coreId, req.coord.channel,
+                           req.part, 0);
+        if (req.part != dram::MemRequest::kCriticalPart)
+            return;
+        // Fall through: the first attempt still sends its critical
+        // packet so the waiting load is not penalised by the re-read.
+    }
+    if (req.part == dram::MemRequest::kCriticalPart) {
         // Small high-priority packet with the requested word, then the
         // bulk packet with the whole line.
+        fault::Injection inj = faultModel_.onRead(
+            fault::ReadPath::HmcCritical, req.lineAddr, req.coord, done);
         const Tick crit = respLink_.send(
             done, params_.headerBytes + kWordBytes, true);
+        deliveries_.push(Delivery{crit, req.cookie, true, !inj.faulty()});
+        if (inj.faulty()) {
+            // The bulk packet re-delivers the word under SECDED; the
+            // detected transfer error costs only the lost early wake.
+            faultModel_.resolve(inj, fault::Resolution::Corrected, crit);
+            if (faultModel_.noteSiteFault(inj))
+                retireVaultCritical(req.coord.channel);
+        }
+        if (!accepted)
+            return; // bulk packet follows once the re-read succeeds
         const Tick full = respLink_.send(
             done, params_.headerBytes + kLineBytes, false);
-        deliveries_.push(Delivery{crit, req.cookie, true});
         // The backend contract requires criticalArrived strictly before
         // lineCompleted; never let the two deliveries tie.
         deliveries_.push(
-            Delivery{std::max(full, crit + 1), req.cookie, false});
+            Delivery{std::max(full, crit + 1), req.cookie, false, true});
     } else {
         const Tick full = respLink_.send(
             done, params_.headerBytes + kLineBytes, false);
-        deliveries_.push(Delivery{full, req.cookie, false});
+        deliveries_.push(Delivery{full, req.cookie, false, true});
     }
+}
+
+void
+HmcLikeMemory::retireVaultCritical(unsigned vault)
+{
+    if (vaultCritDisabled_[vault])
+        return;
+    vaultCritDisabled_[vault] = true;
+    disabledVaults_ += 1;
+    faultModel_.noteRegionRetired();
+    warn(params_.configName, ": retiring critical-first on vault ", vault,
+         " after repeated critical-packet faults; lines there now fill "
+         "bulk-only");
+}
+
+void
+HmcLikeMemory::drainRetries(Tick now)
+{
+    if (retryLadder_.empty())
+        return;
+    retryLadder_.drain(now, [this, now](const fault::RetryRead &r) {
+        if (!vaults_[r.coord.channel]->canAccept(AccessType::Read))
+            return false;
+        dram::MemRequest req;
+        req.id = nextReqId_++;
+        req.lineAddr = r.lineAddr;
+        req.type = AccessType::Read;
+        req.coreId = r.coreId;
+        req.cookie = r.cookie;
+        req.coord = r.coord;
+        req.part = dram::MemRequest::kRestPart;
+        const Tick arrive = reqLink_.send(now, params_.headerBytes, false);
+        vaults_[req.coord.channel]->enqueue(req, std::max(arrive, now));
+        return true;
+    });
 }
 
 void
 HmcLikeMemory::tick(Tick now)
 {
+    drainRetries(now);
     for (auto &vault : vaults_)
         vault->tick(now);
     drainDeliveries(now);
@@ -162,6 +248,7 @@ HmcLikeMemory::tick(Tick now)
 void
 HmcLikeMemory::tickDue(Tick now)
 {
+    drainRetries(now);
     for (auto &vault : vaults_) {
         if (vault->nextEventTick(now) > now)
             continue;
@@ -179,7 +266,7 @@ HmcLikeMemory::drainDeliveries(Tick now)
         check::onHmcDelivery(this, d.mshrId, d.critical, d.at);
         if (d.critical) {
             if (cb_.criticalArrived)
-                cb_.criticalArrived(d.mshrId, d.at, /*parity_ok=*/true);
+                cb_.criticalArrived(d.mshrId, d.at, d.parityOk);
         } else if (cb_.lineCompleted) {
             cb_.lineCompleted(d.mshrId, d.at);
         }
@@ -196,6 +283,7 @@ HmcLikeMemory::nextEventTick(Tick now) const
     // the earliest pending delivery is an exact event.
     if (!deliveries_.empty())
         next = std::min(next, std::max(now, deliveries_.top().at));
+    next = std::min(next, retryLadder_.nextRetryTick(now));
     return next;
 }
 
@@ -209,7 +297,7 @@ HmcLikeMemory::fastForward(Tick, Tick to)
 bool
 HmcLikeMemory::idle() const
 {
-    if (!deliveries_.empty())
+    if (!deliveries_.empty() || !retryLadder_.empty())
         return false;
     return std::all_of(vaults_.begin(), vaults_.end(),
                        [](const auto &v) { return v->idle(); });
@@ -272,6 +360,8 @@ HmcLikeMemory::registerStats(StatRegistry &registry) const
     g.addGauge("critical_bypasses", [this] {
         return static_cast<double>(respLink_.criticalBypasses());
     });
+    if (faultModel_.enabled())
+        faultModel_.registerStats(registry);
 }
 
 } // namespace hetsim::cwf

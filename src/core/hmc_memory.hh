@@ -27,6 +27,7 @@
 #include "core/memory_backend.hh"
 #include "dram/address_map.hh"
 #include "dram/channel.hh"
+#include "fault/fault_model.hh"
 
 namespace hetsim::cwf
 {
@@ -87,19 +88,18 @@ class HmcLikeMemory : public MemoryBackend
         double linkBytesPerTick = 3.2;
         unsigned headerBytes = 16;
         dram::SchedulerPolicy sched;
+        fault::FaultParams fault; ///< unified fault-injection knobs
     };
 
     explicit HmcLikeMemory(const Params &params);
     ~HmcLikeMemory() override;
 
     void setCallbacks(Callbacks callbacks) override;
-    unsigned plannedCriticalWord(Addr, unsigned requested_word,
-                                 bool) override
-    {
-        // Every requested word rides the priority packet: packetisation
-        // does not need a static layout.
-        return params_.criticalFirst ? requested_word : kNoFastWord;
-    }
+    /** Every requested word rides the priority packet (packetisation
+     *  needs no static layout) — unless the line's vault has had its
+     *  critical-first path retired by persistent-failure detection. */
+    unsigned plannedCriticalWord(Addr line_addr, unsigned requested_word,
+                                 bool is_demand) override;
     bool canAcceptFill(Addr line_addr) const override;
     void requestFill(const FillRequest &request, Tick now) override;
     bool canAcceptWriteback(Addr line_addr) const override;
@@ -116,6 +116,17 @@ class HmcLikeMemory : public MemoryBackend
     double rowHitRate() const override;
     const char *name() const override { return params_.configName.c_str(); }
     void registerStats(StatRegistry &registry) const override;
+    const fault::FaultModel *faultModel() const override
+    {
+        return &faultModel_;
+    }
+
+    /** True once any vault stopped splitting critical packets. */
+    bool degradedMode() const { return disabledVaults_ != 0; }
+    bool vaultCriticalRetired(unsigned v) const
+    {
+        return vaultCritDisabled_[v];
+    }
 
     const SerialLink &requestLink() const { return reqLink_; }
     const SerialLink &responseLink() const { return respLink_; }
@@ -134,12 +145,17 @@ class HmcLikeMemory : public MemoryBackend
         Tick at;
         std::uint64_t mshrId;
         bool critical;
+        /** Critical packet failed its transfer check (fault injected);
+         *  the waiting load must not early-wake on it. */
+        bool parityOk = true;
 
         bool operator>(const Delivery &o) const { return at > o.at; }
     };
 
     void onVaultResponse(dram::MemRequest &req);
     void drainDeliveries(Tick now);
+    void drainRetries(Tick now);
+    void retireVaultCritical(unsigned vault);
 
     Params params_;
     dram::AddressMap map_;
@@ -147,6 +163,11 @@ class HmcLikeMemory : public MemoryBackend
     SerialLink reqLink_;
     SerialLink respLink_;
     Callbacks cb_;
+    fault::FaultModel faultModel_;
+    fault::BulkRetryLadder retryLadder_;
+    /** Vaults whose critical-first split was retired. */
+    std::vector<bool> vaultCritDisabled_;
+    unsigned disabledVaults_ = 0;
     std::uint64_t nextReqId_ = 1;
 
     std::priority_queue<Delivery, std::vector<Delivery>,

@@ -83,11 +83,33 @@ EventQueue::cancel(std::size_t slot)
     siftDown(pos_[last]);
 }
 
+void
+EventQueue::notePop(Tick at)
+{
+    if (at != lastPopTick_) {
+        lastPopTick_ = at;
+        samePopStreak_ = 1;
+        noProgressReported_ = false;
+        return;
+    }
+    ++samePopStreak_;
+    // A legitimate step drains at most one event per slot plus a short
+    // chain of cross-component same-tick re-arms, so anything past a
+    // generous multiple of the slot count means the clock is stuck.
+    const std::uint64_t bound = 8 * pos_.size() + 64;
+    if (samePopStreak_ > bound && !noProgressReported_) {
+        noProgressReported_ = true;
+        check::onNoProgress("event queue", at, heap_.size() + 1,
+                            samePopStreak_);
+    }
+}
+
 std::size_t
 EventQueue::popNext()
 {
     sim_assert(!heap_.empty(), "popNext on empty event queue");
     const std::size_t slot = heap_.front();
+    notePop(tick_[slot]);
     cancel(slot);
     return slot;
 }
@@ -101,6 +123,7 @@ EventQueue::popSameTickBelow(Tick at, std::size_t below_slot,
         const std::size_t slot = heap_.front();
         if (tick_[slot] != at || slot >= below_slot)
             break;
+        notePop(tick_[slot]);
         cancel(slot);
         out[n++] = slot;
     }

@@ -118,10 +118,25 @@ class EventQueue
     void siftUp(std::size_t idx);
     void siftDown(std::size_t idx);
 
+    /**
+     * No-progress watchdog (Rule::NoProgress): count consecutive pops
+     * at one tick.  A healthy step drains at most one event per slot
+     * plus cross-component re-arms; a mis-armed component that keeps
+     * re-arming the *current* tick produces an unbounded same-tick pop
+     * streak while the clock stands still — classic silent hang.  The
+     * bound is far above any legitimate same-tick burst, and the flag
+     * fires the checker hook once per stuck tick.
+     */
+    void notePop(Tick at);
+
     std::vector<std::size_t> heap_; ///< heap of slot indices
     std::vector<std::size_t> pos_;  ///< slot -> heap index, kNoPos if idle
     std::vector<Tick> tick_;        ///< slot -> pending tick
     std::vector<EventKind> kind_;   ///< slot -> owner kind
+
+    Tick lastPopTick_ = kTickNever;    ///< watchdog: tick of the streak
+    std::uint64_t samePopStreak_ = 0;  ///< pops at lastPopTick_ so far
+    bool noProgressReported_ = false;  ///< one report per stuck tick
 };
 
 } // namespace hetsim::sim

@@ -7,6 +7,7 @@
 #include <future>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 #include "sim/report.hh"
@@ -14,6 +15,17 @@
 
 namespace hetsim::sim
 {
+
+namespace
+{
+std::function<void(const RunSpec &)> g_runProbe;
+} // namespace
+
+void
+setRunProbeForTest(std::function<void(const RunSpec &)> probe)
+{
+    g_runProbe = std::move(probe);
+}
 
 std::string
 sanitizedRunKey(const std::string &key)
@@ -65,6 +77,27 @@ writeJsonExport(const std::string &json, const std::string &key)
     out << json << "\n";
 }
 
+std::string
+renderFailuresJson(const std::vector<RunFailure> &failures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("failures").beginArray();
+    for (const auto &f : failures) {
+        w.beginObject();
+        w.key("key").value(f.key);
+        w.key("config").value(f.config);
+        w.key("bench").value(f.bench);
+        w.key("first_error").value(f.firstError);
+        w.key("retry_error").value(f.retryError);
+        w.key("recovered").value(f.recovered);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
 /** The simulation itself plus everything that must read the System
  *  while it is alive.  Runs on pool workers: all mutable state lives in
  *  the local System. */
@@ -78,6 +111,8 @@ RunOutcome
 runOne(const ExperimentScale &scale, const RunSpec &spec,
        unsigned active_cores, bool want_json)
 {
+    if (g_runProbe)
+        g_runProbe(spec);
     const auto &profile = workloads::suite::byName(spec.bench);
     System system(spec.params, profile, active_cores);
     const RunConfig rc = scale.runConfig(active_cores, spec.params.cores);
@@ -185,6 +220,8 @@ ExperimentRunner::prefetch(const std::vector<RunSpec> &specs)
         std::string key;
         std::future<void> done;
         RunOutcome outcome;
+        std::string firstError; ///< non-empty: the worker threw
+        bool failed = false;    ///< still no result after the retry
     };
     std::vector<Pending> todo;
     {
@@ -217,15 +254,58 @@ ExperimentRunner::prefetch(const std::vector<RunSpec> &specs)
             });
         }
         // Join in submission order; a worker exception surfaces here on
-        // the corresponding future rather than killing the process.
-        for (auto &p : todo)
-            p.done.get();
+        // the corresponding future.  It must not abort the sweep — the
+        // other runs' results are already paid for — so capture it into
+        // a per-run failure record instead of rethrowing.
+        for (auto &p : todo) {
+            try {
+                p.done.get();
+            } catch (const std::exception &e) {
+                p.firstError = e.what();
+            } catch (...) {
+                p.firstError = "unknown exception";
+            }
+        }
+    }
+
+    // Retry failed runs once, serially, after the pool is gone: a
+    // transient failure (resource exhaustion under a loaded pool) gets
+    // a quiet second chance, a deterministic one fails identically.
+    for (auto &p : todo) {
+        if (p.firstError.empty())
+            continue;
+        RunFailure f;
+        f.key = p.key;
+        f.config = toString(p.spec.params.mem);
+        f.bench = p.spec.bench;
+        f.firstError = p.firstError;
+        try {
+            p.outcome =
+                runOne(scale_, p.spec, p.activeCores, want_json);
+            f.recovered = true;
+        } catch (const std::exception &e) {
+            f.retryError = e.what();
+            p.failed = true;
+        } catch (...) {
+            f.retryError = "unknown exception";
+            p.failed = true;
+        }
+        if (p.failed) {
+            warn("sweep: run '", p.key, "' failed twice and is skipped: ",
+                 f.firstError, " / then: ", f.retryError);
+        } else {
+            warn("sweep: run '", p.key, "' failed once (",
+                 f.firstError, ") but succeeded on retry");
+        }
+        failures_.push_back(std::move(f));
     }
 
     // Commit results — memo entries and JSON exports — in submission
     // order, so a parallel sweep is observationally identical to a
     // serial one regardless of worker interleaving.
     for (auto &p : todo) {
+        if (p.failed)
+            continue;
         {
             std::lock_guard<std::mutex> lock(cacheMutex_);
             cache_.emplace(p.key, std::move(p.outcome.result));
@@ -233,6 +313,8 @@ ExperimentRunner::prefetch(const std::vector<RunSpec> &specs)
         if (want_json)
             writeJsonExport(p.outcome.json, p.key);
     }
+    if (want_json && !failures_.empty())
+        writeJsonExport(renderFailuresJson(failures_), "sweep_failures");
 }
 
 void

@@ -72,19 +72,37 @@ SystemParams::cacheKey() const
     os << toString(mem) << "/c" << cores << "/pf" << prefetcherEnabled
        << "/pe" << parityErrorRate << "/s" << seed << "/hp"
        << hotPages.size();
+    // Appended only when some knob is set (programmatically or via
+    // HETSIM_FAULT_*), so keys of fault-free runs — every pre-existing
+    // cache entry — are untouched.
+    const fault::FaultParams effective = fault::FaultParams::fromEnv(fault);
+    if (effective.nonDefault())
+        effective.appendKey(os);
     return os.str();
 }
 
 namespace
 {
 
+/** Environment-overlaid fault knobs with the site seed pinned to the
+ *  run seed when left at 0 (same SystemParams seed ⇒ same fault sites). */
+fault::FaultParams
+faultFor(const SystemParams &params)
+{
+    fault::FaultParams f = fault::FaultParams::fromEnv(params.fault);
+    if (f.seed == 0)
+        f.seed = params.seed;
+    return f;
+}
+
 std::unique_ptr<cwf::MemoryBackend>
-buildHomogeneous(dram::DeviceParams device)
+buildHomogeneous(dram::DeviceParams device, const SystemParams &params)
 {
     cwf::HomogeneousMemory::Params p;
     p.device = std::move(device);
     p.channels = 4;
     p.ranksPerChannel = 1;
+    p.fault = faultFor(params);
     return std::make_unique<cwf::HomogeneousMemory>(p);
 }
 
@@ -110,6 +128,7 @@ buildCwf(const SystemParams &params)
     p.configName = toString(params.mem);
     p.parityErrorRate = params.parityErrorRate;
     p.seed = params.seed;
+    p.fault = faultFor(params);
 
     switch (params.mem) {
       case MemConfig::CwfRD:
@@ -158,11 +177,11 @@ buildBackend(const SystemParams &params)
 {
     switch (params.mem) {
       case MemConfig::BaselineDDR3:
-        return buildHomogeneous(dram::DeviceParams::ddr3_1600());
+        return buildHomogeneous(dram::DeviceParams::ddr3_1600(), params);
       case MemConfig::HomoRLDRAM3:
-        return buildHomogeneous(dram::DeviceParams::rldram3());
+        return buildHomogeneous(dram::DeviceParams::rldram3(), params);
       case MemConfig::HomoLPDDR2:
-        return buildHomogeneous(dram::DeviceParams::lpddr2_800());
+        return buildHomogeneous(dram::DeviceParams::lpddr2_800(), params);
       case MemConfig::CwfRD:
       case MemConfig::CwfRL:
       case MemConfig::CwfDL:
@@ -176,6 +195,7 @@ buildBackend(const SystemParams &params)
         p.slowDevice = dram::DeviceParams::lpddr2_800();
         p.fastDevice = dram::DeviceParams::rldram3();
         p.slowChannels = 3;
+        p.fault = faultFor(params);
         return std::make_unique<cwf::PagePlacementMemory>(
             p, params.hotPages);
       }
@@ -184,6 +204,7 @@ buildBackend(const SystemParams &params)
         cwf::HmcLikeMemory::Params p;
         p.criticalFirst = params.mem == MemConfig::HmcCdf;
         p.configName = toString(params.mem);
+        p.fault = faultFor(params);
         return std::make_unique<cwf::HmcLikeMemory>(p);
       }
     }

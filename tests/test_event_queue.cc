@@ -264,6 +264,51 @@ TEST(EventQueueNegative, OversleptComponentIsReported)
     checker.disable();
 }
 
+TEST(EventQueueNegative, MisArmedComponentTripsNoProgressWatchdog)
+{
+    // A mis-armed component that keeps re-arming the *current* tick
+    // produces an unbounded same-tick pop streak while the clock stands
+    // still — the classic silent hang the watchdog exists for.  The
+    // streak bound is 8 * slots + 64, so 300 stuck pops on a 4-slot
+    // queue must trip it exactly once (one report per stuck tick).
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+
+    EventQueue q(4);
+    for (unsigned i = 0; i < 300; ++i) {
+        q.schedule(0, 100, EventKind::Backend, 100);
+        (void)q.popNext();
+    }
+    EXPECT_EQ(checker.count(Rule::NoProgress), 1u) << checker.report();
+
+    // Once the clock advances the streak resets: a fresh burst below
+    // the bound at the next tick is silent.
+    for (unsigned i = 0; i < 32; ++i) {
+        q.schedule(0, 101, EventKind::Backend, 101);
+        (void)q.popNext();
+    }
+    EXPECT_EQ(checker.count(Rule::NoProgress), 1u) << checker.report();
+    checker.disable();
+}
+
+TEST(EventQueueNegative, AdvancingClockNeverTripsNoProgressWatchdog)
+{
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+
+    // Heavy but healthy traffic: every slot pops once per tick across
+    // many ticks.  The per-tick streak stays far below the bound.
+    EventQueue q(8);
+    for (Tick t = 0; t < 2000; ++t) {
+        for (std::size_t s = 0; s < q.slots(); ++s)
+            q.schedule(s, t, EventKind::Core, t);
+        while (!q.empty())
+            (void)q.popNext();
+    }
+    EXPECT_EQ(checker.count(Rule::NoProgress), 0u) << checker.report();
+    checker.disable();
+}
+
 TEST(EventQueueNegative, MissedRefreshDeadlineIsCaught)
 {
     // Drive a raw channel the way a *buggy* engine would: ignore

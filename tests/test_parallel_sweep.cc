@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -167,6 +169,128 @@ TEST_F(ParallelSweep, JsonExportsAreByteIdenticalAcrossJobCounts)
         EXPECT_EQ(contents, it->second) << "export differs: " << name;
     }
     fs::remove_all(base);
+}
+
+// --------------------------------------------------------------------
+// Sweep hardening: a worker exception must not abort the sweep.
+// --------------------------------------------------------------------
+
+class SweepFailure : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setenv("HETSIM_READS", "600", 1);
+        setenv("HETSIM_WARMUP", "200", 1);
+    }
+    void TearDown() override
+    {
+        setRunProbeForTest(nullptr);
+        unsetenv("HETSIM_READS");
+        unsetenv("HETSIM_WARMUP");
+        unsetenv("HETSIM_JSON_DIR");
+    }
+
+    static std::vector<RunSpec>
+    threeSpecs()
+    {
+        std::vector<RunSpec> specs;
+        for (const MemConfig cfg :
+             {MemConfig::BaselineDDR3, MemConfig::CwfRL,
+              MemConfig::HmcCdf}) {
+            SystemParams p = ExperimentRunner::paramsFor(cfg);
+            p.seed = kGoldenSeed;
+            specs.push_back(RunSpec{p, kGoldenBenchmark, kGoldenCores});
+        }
+        return specs;
+    }
+};
+
+TEST_F(SweepFailure, TransientWorkerThrowIsRetriedAndRecovered)
+{
+    // The CwfRL run throws on its first attempt only; the serial retry
+    // succeeds and the result must be committed — bit-identical to a
+    // clean runner's.
+    static std::atomic<int> strikes{0};
+    strikes = 0;
+    setRunProbeForTest([](const RunSpec &spec) {
+        if (spec.params.mem == MemConfig::CwfRL &&
+            strikes.fetch_add(1) == 0)
+            throw std::runtime_error("injected transient worker failure");
+    });
+
+    const std::vector<RunSpec> specs = threeSpecs();
+    ExperimentRunner runner(2);
+    runner.prefetch(specs);
+
+    ASSERT_EQ(runner.failures().size(), 1u);
+    const RunFailure &f = runner.failures().front();
+    EXPECT_TRUE(f.recovered);
+    EXPECT_NE(f.firstError.find("injected transient"), std::string::npos);
+    EXPECT_TRUE(f.retryError.empty());
+    EXPECT_EQ(f.bench, kGoldenBenchmark);
+
+    setRunProbeForTest(nullptr);
+    ExperimentRunner clean(1);
+    clean.prefetch(specs);
+    for (const auto &spec : specs) {
+        expectIdentical(runner.sharedRun(spec.params, spec.bench),
+                        clean.sharedRun(spec.params, spec.bench));
+    }
+}
+
+TEST_F(SweepFailure, PersistentFailureIsSurfacedWithoutAbortingSweep)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "hetsim_sweep_failure_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    setenv("HETSIM_JSON_DIR", dir.c_str(), 1);
+
+    setRunProbeForTest([](const RunSpec &spec) {
+        if (spec.params.mem == MemConfig::CwfRL)
+            throw std::runtime_error("injected persistent worker failure");
+    });
+
+    const std::vector<RunSpec> specs = threeSpecs();
+    ExperimentRunner runner(2);
+    runner.prefetch(specs); // must not throw or abort
+
+    ASSERT_EQ(runner.failures().size(), 1u);
+    const RunFailure &f = runner.failures().front();
+    EXPECT_FALSE(f.recovered);
+    EXPECT_NE(f.firstError.find("injected persistent"), std::string::npos);
+    EXPECT_NE(f.retryError.find("injected persistent"), std::string::npos);
+
+    // The other runs committed normally (cache hits: no probe re-entry).
+    for (const auto &spec : specs) {
+        if (spec.params.mem == MemConfig::CwfRL)
+            continue;
+        (void)runner.sharedRun(spec.params, spec.bench);
+    }
+
+    // The failure record was exported alongside the run reports.
+    const std::string failure_file =
+        (dir / (sanitizedRunKey("sweep_failures") + ".json")).string();
+    std::ifstream in(failure_file);
+    ASSERT_TRUE(in.good()) << "missing " << failure_file;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("injected persistent worker failure"),
+              std::string::npos);
+    EXPECT_NE(ss.str().find("\"recovered\""), std::string::npos);
+
+    // The failed run stays unmemoised: once the fault clears, the next
+    // accessor re-runs it successfully.
+    setRunProbeForTest(nullptr);
+    for (const auto &spec : specs) {
+        if (spec.params.mem != MemConfig::CwfRL)
+            continue;
+        ExperimentRunner clean(1);
+        expectIdentical(runner.sharedRun(spec.params, spec.bench),
+                        clean.sharedRun(spec.params, spec.bench));
+    }
+    fs::remove_all(dir);
 }
 
 TEST(SanitizedKeys, CollidingKeysGetDistinctFilenames)
