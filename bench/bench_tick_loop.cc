@@ -5,7 +5,9 @@
  *  1. Engine comparison — simulated ticks/second of one system (CwfRL,
  *     mcf, 8 cores) under the per-tick reference loop, the tick loop
  *     with idle-cycle fast-forward, and the discrete-event engine
- *     (HETSIM_ENGINE=event).  Under the event engine the old
+ *     (HETSIM_ENGINE=event) with lean commit replay both on (the
+ *     default) and off (HETSIM_LEAN_COMMIT=0), isolating what the
+ *     distilled L1-hit commit buys.  Under the event engine the old
  *     "skipped-tick fraction" no longer applies (nothing is polled),
  *     so the report shows events/second and the polled-cycle fraction
  *     per component group instead: the share of simulated cycles on
@@ -74,7 +76,8 @@ struct TickRate
 enum class LoopMode : std::uint8_t {
     TickSerial, ///< tick engine, fast-forward off (pre-PR 3 reference)
     TickFF,     ///< tick engine + skipAhead()
-    Event,      ///< discrete-event engine
+    Event,      ///< discrete-event engine (lean commit on, the default)
+    EventFull,  ///< discrete-event engine, HETSIM_LEAN_COMMIT=0
 };
 
 /** Best wall clock over a few repetitions; the single-run times here
@@ -131,9 +134,12 @@ measureSystemOnce(LoopMode mode, MemConfig mem,
     params.mem = mem;
     params.seed = kGoldenSeed;
     System system(params, profile, cores);
-    system.setEngine(mode == LoopMode::Event ? Engine::Event
-                                             : Engine::Tick);
+    const bool event =
+        mode == LoopMode::Event || mode == LoopMode::EventFull;
+    system.setEngine(event ? Engine::Event : Engine::Tick);
     system.setFastForward(mode == LoopMode::TickFF);
+    if (mode == LoopMode::EventFull)
+        system.setLeanCommit(false);
 
     const auto start = std::chrono::steady_clock::now();
     (void)runSimulation(system, goldenRunConfig());
@@ -275,7 +281,7 @@ main()
     // that window; best-of-N per engine then discards the jittered
     // rounds for each independently.
     const auto &golden_profile = workloads::suite::byName(kGoldenBenchmark);
-    TickRate serial{}, ff{}, ev{};
+    TickRate serial{}, ff{}, ev{}, evfull{};
     for (unsigned i = 0; i < reps; ++i) {
         const TickRate s = measureSystemOnce(
             LoopMode::TickSerial, MemConfig::CwfRL, golden_profile);
@@ -283,15 +289,21 @@ main()
             LoopMode::TickFF, MemConfig::CwfRL, golden_profile);
         const TickRate e = measureSystemOnce(
             LoopMode::Event, MemConfig::CwfRL, golden_profile);
+        const TickRate ef = measureSystemOnce(
+            LoopMode::EventFull, MemConfig::CwfRL, golden_profile);
         if (i == 0 || s.seconds < serial.seconds)
             serial = s;
         if (i == 0 || f.seconds < ff.seconds)
             ff = f;
         if (i == 0 || e.seconds < ev.seconds)
             ev = e;
+        if (i == 0 || ef.seconds < evfull.seconds)
+            evfull = ef;
     }
     const double ff_speedup = ff.ticksPerSec() / serial.ticksPerSec();
     const double ev_speedup = ev.ticksPerSec() / serial.ticksPerSec();
+    const double lean_speedup =
+        ev.ticksPerSec() / evfull.ticksPerSec();
 
     // Per-group polled-cycle fraction: on what share of simulated
     // cycles did the event engine actually run a component of that
@@ -314,15 +326,20 @@ main()
     t1.addRow({"tick+fastfwd", std::to_string(ff.ticks),
                std::to_string(ff.stepped), Table::num(ff.seconds, 3),
                Table::num(ff.ticksPerSec() / 1e6, 2) + "M"});
-    t1.addRow({"event", std::to_string(ev.ticks),
+    t1.addRow({"event (lean commit)", std::to_string(ev.ticks),
                std::to_string(ev.stepped), Table::num(ev.seconds, 3),
                Table::num(ev.ticksPerSec() / 1e6, 2) + "M"});
+    t1.addRow({"event (full lookup)", std::to_string(evfull.ticks),
+               std::to_string(evfull.stepped),
+               Table::num(evfull.seconds, 3),
+               Table::num(evfull.ticksPerSec() / 1e6, 2) + "M"});
     bench::printTableAndCsv(t1);
     std::cout << "\nevent engine: "
               << Table::num(ev.eventsPerSec() / 1e6, 2)
               << "M events/sec; speedup vs per-tick "
               << Table::num(ev_speedup, 2) << "x (fast-forward "
-              << Table::num(ff_speedup, 2)
+              << Table::num(ff_speedup, 2) << "x, lean-vs-full "
+              << Table::num(lean_speedup, 2)
               << "x); polled-cycle fraction cores "
               << Table::percent(polled_cores) << ", hierarchy "
               << Table::percent(polled_hier) << ", backend "
@@ -340,10 +357,13 @@ main()
          << ",\n"
          << "    \"event_ticks_per_sec\": " << ev.ticksPerSec()
          << ",\n"
+         << "    \"event_full_ticks_per_sec\": " << evfull.ticksPerSec()
+         << ",\n"
          << "    \"events_per_sec\": " << ev.eventsPerSec() << ",\n"
          << "    \"core_events\": " << ev.coreEvents << ",\n"
          << "    \"fastforward_speedup\": " << ff_speedup << ",\n"
          << "    \"event_speedup\": " << ev_speedup << ",\n"
+         << "    \"lean_commit_speedup\": " << lean_speedup << ",\n"
          << "    \"polled_cycle_fraction\": {\n"
          << "      \"cores\": " << polled_cores << ",\n"
          << "      \"hierarchy\": " << polled_hier << ",\n"

@@ -14,6 +14,7 @@ Cache::Cache(const Params &params) : params_(params)
                                   (kLineBytes * params_.ways));
     sim_assert(sets_ > 0, params_.name, ": zero sets");
     lines_.resize(static_cast<std::size_t>(sets_) * params_.ways);
+    setGen_.resize(sets_, 0);
 }
 
 Cache::Line *
@@ -57,6 +58,22 @@ Cache::probe(Addr line_addr) const
     return findLine(line_addr) != nullptr;
 }
 
+bool
+Cache::probePredict(Addr line_addr, PredictedLine &pred) const
+{
+    const Line *line = findLine(line_addr);
+    if (!line) {
+        pred.valid = false;
+        return false;
+    }
+    const std::uint64_t index = line_addr >> kLineShift;
+    const unsigned set = static_cast<unsigned>(index % sets_);
+    pred.lineIdx = static_cast<std::uint32_t>(line - lines_.data());
+    pred.gen = setGen_[set];
+    pred.valid = true;
+    return true;
+}
+
 Cache::Eviction
 Cache::fill(Addr line_addr, bool dirty)
 {
@@ -88,6 +105,7 @@ Cache::fill(Addr line_addr, bool dirty)
     victim->dirty = dirty;
     victim->tag = tag;
     victim->lru = ++lruClock_;
+    setGen_[set] += 1;
     return ev;
 }
 
@@ -102,6 +120,8 @@ Cache::invalidate(Addr line_addr, bool *was_present)
     const bool dirty = line->dirty;
     line->valid = false;
     line->dirty = false;
+    const std::uint64_t index = line_addr >> kLineShift;
+    setGen_[static_cast<unsigned>(index % sets_)] += 1;
     return dirty;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -41,11 +42,73 @@ class Cache
 
     explicit Cache(const Params &params);
 
+    /**
+     * Prediction token for a lean commit (DESIGN §16).
+     *
+     * Captured by probePredict() at frontier-verification time: the flat
+     * index of the hit line plus the owning set's generation counter.
+     * The generation is bumped on every membership change in the set
+     * (fill or invalidate of a present line) but *not* on LRU/dirty
+     * touches, so a matching generation at commit time proves the line
+     * still occupies the same way with the same tag.
+     */
+    struct PredictedLine
+    {
+        std::uint32_t lineIdx = 0; ///< flat index into lines_
+        std::uint32_t gen = 0;     ///< setGen_ value at probe time
+        bool valid = false;
+    };
+
     /** Look up a line; on hit, update LRU and optionally set dirty. */
     bool access(Addr line_addr, bool mark_dirty);
 
     /** Tag-only lookup with no LRU side effects. */
     bool probe(Addr line_addr) const;
+
+    /**
+     * Tag-only lookup that additionally captures a staleness token for a
+     * later O(1) commitPredicted(). No LRU side effects.
+     */
+    bool probePredict(Addr line_addr, PredictedLine &pred) const;
+
+    /**
+     * Apply the hit side effects (hit counter, LRU touch, dirty bit) for
+     * a line previously captured by probePredict(), without re-walking
+     * the set. Returns false — with no side effects — if the prediction
+     * is stale (the set's membership changed since the probe); the
+     * caller must fall back to the full access() path.  Inline: this is
+     * the per-op heart of the lean replay loop.
+     */
+    bool
+    commitPredicted(const PredictedLine &pred, Addr line_addr,
+                    bool mark_dirty)
+    {
+        if (!predictionFresh(pred))
+            return false;
+        Line &line = lines_[pred.lineIdx];
+        sim_assert(line.valid &&
+                       line.tag == (line_addr >> kLineShift) / sets_ &&
+                       pred.lineIdx / params_.ways ==
+                           (line_addr >> kLineShift) % sets_,
+                   params_.name,
+                   ": stale lean-commit prediction not caught "
+                   "by set generation");
+        hits_.inc();
+        line.lru = ++lruClock_;
+        if (mark_dirty)
+            line.dirty = true;
+        return true;
+    }
+
+    /** Is @p pred still fresh (set membership unchanged since the
+     *  probe)? No side effects; the checker shadow path uses this to
+     *  classify a commit before running the full lookup. */
+    bool
+    predictionFresh(const PredictedLine &pred) const
+    {
+        return pred.valid &&
+               setGen_[pred.lineIdx / params_.ways] == pred.gen;
+    }
 
     /** Install a line (must not be present); returns the victim. */
     Eviction fill(Addr line_addr, bool dirty);
@@ -81,6 +144,8 @@ class Cache
     Params params_;
     unsigned sets_;
     std::vector<Line> lines_;
+    /// Per-set membership generation; bumped on fill/invalidate only.
+    std::vector<std::uint32_t> setGen_;
     std::uint64_t lruClock_ = 0;
 
     Counter hits_;

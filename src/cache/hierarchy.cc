@@ -42,6 +42,58 @@ Hierarchy::store(std::uint8_t core, Addr addr, Tick now)
     return accessImpl(core, /*slot=*/0, addr, now, /*is_store=*/true);
 }
 
+bool
+Hierarchy::commitPrivateHit(std::uint8_t core, std::uint16_t slot,
+                            Addr addr, Tick now, bool is_store,
+                            const Cache::PredictedLine &pred,
+                            AccessResult &out)
+{
+    const Addr line = lineBase(addr);
+#ifndef HETSIM_DISABLE_CHECK
+    if (check::detail::g_checkEnabled) [[unlikely]] {
+        // Shadow mode: the full lookup is the authoritative effect (so
+        // stats match a lean-off run exactly), field-compared against
+        // what the distilled path would have committed.
+        const bool fresh = l1s_[core]->predictionFresh(pred);
+        if (!fresh)
+            return false; // same fallback the lean path would take
+        out = is_store ? store(core, addr, now)
+                       : this->load(core, slot, addr, now);
+        if (out.outcome != Outcome::Ready) {
+            check::onLeanCommitMismatch(
+                core, now, addr, "outcome",
+                static_cast<std::uint64_t>(Outcome::Ready),
+                static_cast<std::uint64_t>(out.outcome));
+        }
+        if (out.level != HitLevel::L1) {
+            check::onLeanCommitMismatch(
+                core, now, addr, "level",
+                static_cast<std::uint64_t>(HitLevel::L1),
+                static_cast<std::uint64_t>(out.level));
+        }
+        if (out.readyAt != now + params_.l1Latency) {
+            check::onLeanCommitMismatch(core, now, addr, "ready_at",
+                                        now + params_.l1Latency,
+                                        out.readyAt);
+        }
+        return true;
+    }
+#endif
+    if (!l1s_[core]->commitPredicted(pred, line, is_store))
+        return false;
+    if (is_store) {
+        stats_.stores.inc();
+    } else {
+        stats_.loads.inc();
+        HETSIM_TRACE_EVENT(trace::Event::CoreIssue, now, 0, line, core, 0,
+                           0, wordOfLine(addr));
+    }
+    attrib::sample(stats_.lookupLatencyHist,
+                   static_cast<double>(params_.l1Latency));
+    out = {Outcome::Ready, now + params_.l1Latency, HitLevel::L1};
+    return true;
+}
+
 Hierarchy::AccessResult
 Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
                       Tick now, bool is_store)
@@ -83,10 +135,8 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
 
     // 2. Private L1.
     if (l1s_[core]->access(line, is_store)) {
-        if (attrib::enabled()) {
-            stats_.lookupLatencyHist.sample(
-                static_cast<double>(params_.l1Latency));
-        }
+        attrib::sample(stats_.lookupLatencyHist,
+                       static_cast<double>(params_.l1Latency));
         return {Outcome::Ready, now + params_.l1Latency, HitLevel::L1};
     }
 
@@ -94,10 +144,8 @@ Hierarchy::accessImpl(std::uint8_t core, std::uint16_t slot, Addr addr,
     if (l2_.access(line, /*mark_dirty=*/false)) {
         fillL1(core, line, is_store);
         trainAndPrefetch(core, line, now);
-        if (attrib::enabled()) {
-            stats_.lookupLatencyHist.sample(
-                static_cast<double>(params_.l2Latency));
-        }
+        attrib::sample(stats_.lookupLatencyHist,
+                       static_cast<double>(params_.l2Latency));
         return {Outcome::Ready, now + params_.l2Latency, HitLevel::L2};
     }
 

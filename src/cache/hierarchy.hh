@@ -216,6 +216,44 @@ class Hierarchy
     /** Service latency of a private L1 hit, ticks. */
     unsigned l1HitLatency() const { return params_.l1Latency; }
 
+    /**
+     * privateHit() plus a staleness token: on a hit, @p pred captures
+     * the line's way and the owning set's generation so a later
+     * commitPrivateHit() can apply the hit in O(1).  The token goes
+     * stale the instant any install/evict/invalidate touches the set
+     * (Cache::PredictedLine), which — together with the inclusion
+     * invariant below — also covers the MSHR half of the privateHit()
+     * condition: MSHRs are only allocated for lines absent from the
+     * inclusive L2, so a line resident in a core's L1 (hence in L2)
+     * cannot acquire an in-flight fill without first leaving that L1,
+     * which bumps the generation.
+     */
+    bool
+    privateHitPredict(std::uint8_t core, Addr addr,
+                      Cache::PredictedLine &pred) const
+    {
+        const Addr line = lineBase(addr);
+        return (mshrs_.inUse() == 0 || mshrs_.find(line) == nullptr) &&
+               l1s_[core]->probePredict(line, pred);
+    }
+
+    /**
+     * Distilled commit of a frontier-verified private L1 hit
+     * (DESIGN.md section 16): applies exactly the architectural side
+     * effects of the accessImpl() L1-hit path — load/store counter, the
+     * load-issue trace event, the L1 LRU/dirty touch with its hit
+     * counter, and the lookup-latency attribution sample — without the
+     * MSHR probe or set re-walk.  Returns false with *no* side effects
+     * when @p pred is stale; the caller must then fall back to the full
+     * tick path.  When the runtime checker is armed, every lean commit
+     * is instead served by the full lookup (ground truth) and
+     * field-compared against the lean expectation (Rule::LeanCommit).
+     */
+    bool commitPrivateHit(std::uint8_t core, std::uint16_t slot, Addr addr,
+                          Tick now, bool is_store,
+                          const Cache::PredictedLine &pred,
+                          AccessResult &out);
+
   private:
     AccessResult accessImpl(std::uint8_t core, std::uint16_t slot,
                             Addr addr, Tick now, bool is_store);

@@ -85,6 +85,8 @@ toString(Rule rule)
         return "fault";
       case Rule::NoProgress:
         return "no_progress";
+      case Rule::LeanCommit:
+        return "lean_commit";
     }
     return "?";
 }
@@ -991,6 +993,23 @@ Checker::coreRunAccounting(unsigned core, Tick from, Tick to,
                 std::to_string(to) + ") disagrees with per-tick replay: " +
                 what + " expected " + std::to_string(expected) +
                 " actual " + std::to_string(actual));
+}
+
+// --------------------------------------------------------------------
+// Lean-commit shadow comparison
+// --------------------------------------------------------------------
+
+void
+Checker::leanCommitMismatch(unsigned core, Tick at, Addr addr,
+                            const char *field, std::uint64_t expected,
+                            std::uint64_t actual)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    violate(Rule::LeanCommit, at, "core " + std::to_string(core),
+            "lean commit of addr " + std::to_string(addr) +
+                " disagrees with the full lookup: " + field +
+                " lean " + std::to_string(expected) + " full " +
+                std::to_string(actual));
 }
 
 // --------------------------------------------------------------------

@@ -86,6 +86,7 @@ enum class Rule : std::uint8_t {
     CoreBatch,       ///< batched core run broke tiling / escaped the L1
     Fault,           ///< injected fault never resolved / double-resolved
     NoProgress,      ///< non-empty event queue stopped advancing
+    LeanCommit,      ///< lean commit disagreed with the full lookup
 };
 
 const char *toString(Rule rule);
@@ -233,6 +234,14 @@ class Checker
     void coreRunAccounting(unsigned core, Tick from, Tick to,
                            const char *what, std::uint64_t expected,
                            std::uint64_t actual);
+
+    // ---- lean-commit shadow comparison (Rule::LeanCommit, stateless) ----
+    /** The full lookup shadowing a lean commit produced a different
+     *  @p field than the distilled path would have committed: the
+     *  frontier's L1-private proof (or the staleness token) is broken. */
+    void leanCommitMismatch(unsigned core, Tick at, Addr addr,
+                            const char *field, std::uint64_t expected,
+                            std::uint64_t actual);
 
     Checker(const Checker &) = delete;
     Checker &operator=(const Checker &) = delete;
@@ -508,6 +517,14 @@ onCoreRunAccounting(unsigned core, Tick from, Tick to, const char *what,
 {
     HETSIM_CHECK_HOOK(
         coreRunAccounting(core, from, to, what, expected, actual));
+}
+
+inline void
+onLeanCommitMismatch(unsigned core, Tick at, Addr addr, const char *field,
+                     std::uint64_t expected, std::uint64_t actual)
+{
+    HETSIM_CHECK_HOOK(
+        leanCommitMismatch(core, at, addr, field, expected, actual));
 }
 
 } // namespace hetsim::check

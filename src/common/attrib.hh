@@ -61,6 +61,20 @@ enabled()
 /** Programmatic override (tests); the environment sets the default. */
 void setEnabled(bool on);
 
+/**
+ * Gated histogram sample: one relaxed load, then h.sample(v).  Both the
+ * full lookup path and the lean commit path (DESIGN.md section 16) emit
+ * their attribution samples through this helper, so sample emission is
+ * defined once and cannot drift between the two commit flavours.
+ */
+template <typename H>
+inline void
+sample(H &h, double v)
+{
+    if (enabled())
+        h.sample(v);
+}
+
 } // namespace hetsim::attrib
 
 #endif // HETSIM_COMMON_ATTRIB_HH

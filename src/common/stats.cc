@@ -9,18 +9,6 @@
 namespace hetsim
 {
 
-void
-Histogram::sample(double v)
-{
-    sim_assert(v >= 0.0, "histogram samples must be non-negative, got ", v);
-    auto idx = static_cast<std::size_t>(v / width_);
-    if (idx >= counts_.size())
-        idx = counts_.size() - 1;
-    counts_[idx] += 1;
-    total_ += 1;
-    sum_ += v;
-}
-
 double
 Histogram::percentile(double fraction) const
 {

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <functional>
+
+#include "common/log.hh"
 #include <map>
 #include <memory>
 #include <string>
@@ -77,7 +79,19 @@ class Histogram
     {
     }
 
-    void sample(double v);
+    /** Inline: sampled once per access on the lean replay hot path. */
+    void
+    sample(double v)
+    {
+        sim_assert(v >= 0.0,
+                   "histogram samples must be non-negative, got ", v);
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        counts_[idx] += 1;
+        total_ += 1;
+        sum_ += v;
+    }
 
     std::uint64_t bucket(unsigned i) const { return counts_.at(i); }
     unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }

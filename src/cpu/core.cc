@@ -81,7 +81,9 @@ Core::tick(Tick now)
             entry.ready = true;
             entry.readyAt = now + 1;
         } else if (op.isWrite) {
-            const auto res = hierarchy_.store(id_, op.addr, now);
+            cache::Hierarchy::AccessResult res;
+            if (!tryLeanCommit(op.addr, slot, now, /*is_store=*/true, res))
+                res = hierarchy_.store(id_, op.addr, now);
             if (replayGuard_) [[unlikely]]
                 noteReplayAccess(res, now);
             if (res.outcome == cache::Hierarchy::Outcome::Blocked) {
@@ -92,7 +94,9 @@ Core::tick(Tick now)
             entry.ready = true;
             entry.readyAt = res.readyAt;
         } else {
-            const auto res = hierarchy_.load(id_, slot, op.addr, now);
+            cache::Hierarchy::AccessResult res;
+            if (!tryLeanCommit(op.addr, slot, now, /*is_store=*/false, res))
+                res = hierarchy_.load(id_, slot, op.addr, now);
             if (replayGuard_) [[unlikely]]
                 noteReplayAccess(res, now);
             if (res.outcome == cache::Hierarchy::Outcome::Blocked) {
@@ -107,6 +111,7 @@ Core::tick(Tick now)
             } else {
                 entry.ready = false;
                 entry.bulkWait = res.bulkWait;
+                parkedSlots_.push_back(slot);
             }
             lastLoadSlot_ = static_cast<int>(slot);
             lastLoadSeq_ = entry.seq;
@@ -119,12 +124,22 @@ Core::tick(Tick now)
         // The verification frontier counts ROB insertions; consuming
         // position zero with nothing verified spends the boundary claim,
         // and that dispatch may itself have evicted an L1 victim (L2-hit
-        // fill), so the recorded line set must not outlive it.
+        // fill), so the recorded line set must not outlive it.  The
+        // prediction ring pops in lockstep so its head always tracks
+        // upcoming insertion #0.
         if (scanVerified_ > 0) {
             scanVerified_ -= 1;
+            if (posPredsHead_ < posPreds_.size() &&
+                ++posPredsHead_ == posPreds_.size()) {
+                posPreds_.clear();
+                posPredsHead_ = 0;
+            }
         } else {
             scanBoundaryKnown_ = false;
             scanLineCount_ = 0;
+            lineMapStamp_ += 1;
+            posPreds_.clear();
+            posPredsHead_ = 0;
         }
     }
 
@@ -273,6 +288,28 @@ Core::runUntil(Tick from, Tick to)
     return stepped;
 }
 
+bool
+Core::tryLeanCommit(Addr addr, std::uint16_t slot, Tick now, bool is_store,
+                    cache::Hierarchy::AccessResult &res)
+{
+    // Lean commit applies only to dispatches the frontier verified: the
+    // ring head (maintained in lockstep with scanVerified_) carries the
+    // prediction for exactly this insertion.
+    if (!leanCommit_ || scanVerified_ == 0 ||
+        posPredsHead_ >= posPreds_.size())
+        return false;
+    const PosPred &pred = posPreds_[posPredsHead_];
+    sim_assert(pred.isMem, "core ", unsigned{id_},
+               ": prediction ring misaligned with the op stream");
+    if (!hierarchy_.commitPrivateHit(id_, slot, addr, now, is_store,
+                                     pred.line, res)) {
+        leanFallbacks_ += 1;
+        return false; // stale prediction: full path re-derives everything
+    }
+    leanCommits_ += 1;
+    return true;
+}
+
 const workloads::MicroOp &
 Core::peekOp(std::size_t idx)
 {
@@ -329,14 +366,18 @@ Core::compactScanLines()
     // Re-collect the lines the *unconsumed* frontier positions still
     // reference; lines whose every claiming position already dispatched
     // drop out and free slots.  Every surviving line was already in the
-    // set (that is what verified the position), so this only shrinks.
-    std::array<Addr, kScanLines> fresh;
+    // set (that is what verified the position), so this only shrinks —
+    // and each survivor keeps the staleness token it was probed with.
+    // The prediction ring carries each position's line address and
+    // token, so this never re-reads the op stream.
+    std::array<Addr, kScanLines> fresh{};
+    std::array<cache::Cache::PredictedLine, kScanLines> freshPreds{};
     unsigned n = 0;
+    const PosPred *preds = posPreds_.data() + posPredsHead_;
     for (std::uint32_t j = 0; j < scanVerified_; ++j) {
-        const workloads::MicroOp &op = posOp(j);
-        if (!op.isMem)
+        if (!preds[j].isMem)
             continue;
-        const Addr line = lineBase(op.addr);
+        const Addr line = preds[j].lineAddr;
         bool dup = false;
         for (unsigned i = 0; i < n; ++i) {
             if (fresh[i] == line) {
@@ -344,12 +385,60 @@ Core::compactScanLines()
                 break;
             }
         }
-        if (!dup)
+        if (!dup) {
+            freshPreds[n] = preds[j].line;
             fresh[n++] = line;
+        }
     }
     scanLines_ = fresh;
+    scanLinePreds_ = freshPreds;
     scanLineCount_ = n;
+    lineMapStamp_ += 1;
+    for (unsigned i = 0; i < n; ++i)
+        lineMapInsert(scanLines_[i], i);
     return n < kScanLines;
+}
+
+void
+Core::resetPacingFold()
+{
+    offFresh_ = true;
+    offBase_ = static_cast<std::uint32_t>(posPredsHead_);
+    offTick_ = 0;
+    offUsed_ = 0;
+    offLoadReady_ = 0;
+    offHaveLoad_ = false;
+    offEarlyDepends_ = false;
+}
+
+void
+Core::foldPacing(PosPred &pos, Tick l1_lat)
+{
+    // Exact per-iteration recurrence of predictBoundary's full pass,
+    // minus the retire and live-load terms its preconditions exclude.
+    if (offUsed_ == params_.width) {
+        offTick_ += 1;
+        offUsed_ = 0;
+    }
+    if (pos.depends) {
+        if (offHaveLoad_) {
+            if (offLoadReady_ > offTick_) {
+                offTick_ = offLoadReady_;
+                offUsed_ = 0;
+            }
+        } else {
+            offEarlyDepends_ = true;
+        }
+    }
+    // Ready-time bound of this insertion's ROB entry, recorded at the
+    // same point the full pass records predReady_: a hit's data is
+    // back l1Latency after dispatch, anything else one tick later.
+    pos.readyOff = pos.isMem ? offTick_ + l1_lat : offTick_ + 1;
+    offUsed_ += 1;
+    if (pos.isLoad) {
+        offHaveLoad_ = true;
+        offLoadReady_ = offTick_ + l1_lat;
+    }
 }
 
 void
@@ -361,27 +450,48 @@ Core::growFrontier()
     // paid once per (position, line): results live in scanVerified_ /
     // scanLines_ until an external removal of a recorded line (or the
     // boundary claim being spent) invalidates them.
+    // A fresh window re-bases the incremental pacing offsets; growth
+    // onto a partially-consumed ring refolds over the survivors first
+    // (the fold is start-relative, so the surviving window folds the
+    // same way a fresh one does), keeping the fast path armed at
+    // O(remaining) per consumption burst instead of per prediction.
+    const Tick l1Lat = hierarchy_.l1HitLatency();
+    if (scanVerified_ == 0) {
+        resetPacingFold();
+    } else if (posPredsHead_ != offBase_) {
+        resetPacingFold();
+        PosPred *preds = posPreds_.data() + posPredsHead_;
+        for (std::uint32_t j = 0; j < scanVerified_; ++j)
+            foldPacing(preds[j], l1Lat);
+    }
     while (!scanBoundaryKnown_ && scanVerified_ < kMaxFrontier) {
         const workloads::MicroOp &op = posOp(scanVerified_);
+        PosPred pos;
+        pos.isLoad = op.isMem && !op.isWrite;
+        pos.depends = op.isMem && op.dependsOnPrev;
         if (op.isMem) {
             const Addr line = lineBase(op.addr);
-            bool known = false;
-            for (unsigned i = 0; i < scanLineCount_; ++i) {
-                if (scanLines_[i] == line) {
-                    known = true;
-                    break;
-                }
-            }
-            if (!known) {
+            int known = lineMapFind(line);
+            if (known < 0) {
                 if (scanLineCount_ == kScanLines && !compactScanLines())
                     return; // line budget exhausted: stop at this edge
-                if (!hierarchy_.privateHit(id_, op.addr)) {
+                cache::Cache::PredictedLine pred;
+                if (!hierarchy_.privateHitPredict(id_, op.addr, pred)) {
                     scanBoundaryKnown_ = true;
                     return; // the op at scanVerified_ leaves the L1
                 }
-                scanLines_[scanLineCount_++] = line;
+                scanLines_[scanLineCount_] = line;
+                scanLinePreds_[scanLineCount_] = pred;
+                known = static_cast<int>(scanLineCount_++);
+                lineMapInsert(line, static_cast<unsigned>(known));
             }
+            pos.isMem = true;
+            pos.lineAddr = line;
+            pos.line = scanLinePreds_[static_cast<unsigned>(known)];
         }
+        // Fold the position into the start-relative dispatch schedule.
+        foldPacing(pos, l1Lat);
+        posPreds_.push_back(pos);
         scanVerified_ += 1;
     }
 }
@@ -411,6 +521,126 @@ Core::predictBoundary(Tick from)
     // inside the run, replays the prefix, and re-arms from there.
     const Tick l1Lat = hierarchy_.l1HitLatency();
     const std::uint32_t target = scanVerified_;
+
+    // O(1) ROB-occupancy shortcut: when the window can fill the ROB
+    // and a parked load sits within its retire demand, the boundary
+    // dispatch is pinned behind that load's wake — exactly the
+    // kTickNever the full pass would walk to (its retire schedule
+    // consumes ready-time bounds in ROB order and reaches the parked
+    // entry before any dispatch past it can be paced).  The wake
+    // invalidates the memo and re-predicts.
+    if (static_cast<std::uint64_t>(count_) + target >= params_.robSize) {
+        for (const std::uint16_t slot : parkedSlots_) {
+            const unsigned p = (slot + params_.robSize - head_) %
+                               params_.robSize;
+            if (p + params_.robSize <= count_ + target)
+                return kTickNever;
+        }
+    }
+
+    // Live last-load dependence (mirrors lastLoadPending()): until an
+    // in-window load takes over, dependent mem ops wait on it.
+    bool liveLoadPending = false;
+    bool liveLoadNever = false;
+    Tick liveLoadReady = 0;
+    if (lastLoadSlot_ >= 0) {
+        const RobEntry &e = rob_[static_cast<unsigned>(lastLoadSlot_)];
+        if (e.valid && e.seq == lastLoadSeq_) {
+            liveLoadPending = true;
+            if (e.ready)
+                liveLoadReady = std::max(start, e.readyAt);
+            else
+                liveLoadNever = true;
+        }
+    }
+
+    // The boundary op (position `target`, never verified, hence never
+    // in the ring) contributes only its dependence flag.  posOp()
+    // draws it from the source if growFrontier stopped before it.
+    const workloads::MicroOp &bop = posOp(target);
+    const bool boundaryDepends = bop.isMem && bop.dependsOnPrev;
+
+    // Fast path on the incremental schedule growFrontier kept: B0 (the
+    // fold through the boundary op's own checks) is the full pass with
+    // retire pacing relaxed away — exact outright when the ROB cannot
+    // fill within the window.  When it can fill, pair B0 with R, a
+    // standalone walk of the retire schedule up to the boundary's
+    // demand: the retire schedule is dispatch-independent, its live
+    // entries are all ready (a parked entry inside the demand is
+    // caught by the occupancy shortcut above), and demand reaching
+    // into the window itself reads the fold's recorded per-position
+    // ready bounds (PosPred::readyOff).  max(B0, R) ≥ both bounds the
+    // full pass enforces at j == target; it omits only mid-window
+    // retire-reset cascades and — for windows that fill the ROB — the
+    // retire holds folded back into in-window ready times, so it is
+    // never late; a conservative-early result costs one extra in-run
+    // event, not correctness.  The live last-load stall must not bite
+    // mid-window (data back by `start`, or nothing before the first
+    // in-window load depends on it) — otherwise fall through to the
+    // full pass.
+    if (offFresh_ && posPredsHead_ == offBase_) {
+        const bool liveMid = liveLoadPending && offEarlyDepends_;
+        if (liveMid && liveLoadNever)
+            return kTickNever; // a pre-load depends-op waits on a wake
+        if (!liveMid || liveLoadReady <= start) {
+            Tick t = offTick_;
+            if (offUsed_ == params_.width)
+                t += 1;
+            Tick res = start + t;
+            if (boundaryDepends) {
+                if (offHaveLoad_) {
+                    if (offLoadReady_ > t)
+                        res = start + offLoadReady_;
+                } else if (liveLoadPending) {
+                    if (liveLoadNever)
+                        return kTickNever;
+                    if (liveLoadReady > res)
+                        res = liveLoadReady;
+                }
+            }
+            if (static_cast<std::uint64_t>(count_) + target >=
+                params_.robSize) {
+                const auto demandF = static_cast<std::uint32_t>(
+                    count_ + target + 1 - params_.robSize);
+                const PosPred *preds =
+                    posPreds_.data() + posPredsHead_;
+                Tick rTick = start;
+                unsigned rUsed = 0;
+                for (std::uint32_t p = 0; p < demandF; ++p) {
+                    Tick rt;
+                    if (p < count_) {
+                        unsigned slot = head_ + p;
+                        if (slot >= params_.robSize)
+                            slot -= params_.robSize;
+                        const RobEntry &e = rob_[slot];
+                        sim_assert(e.ready, "core ", unsigned{id_},
+                                   ": parked entry inside retire "
+                                   "demand escaped the occupancy "
+                                   "shortcut");
+                        rt = std::max(start, e.readyAt);
+                    } else {
+                        // In-window insertion: the fold's recorded
+                        // ready bound (never beyond the ring — the
+                        // demand outruns the live ROB by at most
+                        // target + 1 - robSize <= scanVerified_).
+                        rt = start + preds[p - count_].readyOff;
+                    }
+                    if (rUsed == params_.width) {
+                        rTick += 1;
+                        rUsed = 0;
+                    }
+                    if (rt > rTick) {
+                        rTick = rt;
+                        rUsed = 0;
+                    }
+                    rUsed += 1;
+                }
+                if (rTick > res)
+                    res = rTick;
+            }
+            return res;
+        }
+    }
 
     // Retire schedule: ROB order, at most `width` per tick, none
     // before `start` (no tick executes earlier).  predReady_ collects
@@ -458,32 +688,20 @@ Core::predictBoundary(Tick from)
         return retTick;
     };
 
-    // Live last-load dependence (mirrors lastLoadPending()): until an
-    // in-window load takes over, dependent mem ops wait on it.
-    bool liveLoadPending = false;
-    bool liveLoadNever = false;
-    Tick liveLoadReady = 0;
-    if (lastLoadSlot_ >= 0) {
-        const RobEntry &e = rob_[static_cast<unsigned>(lastLoadSlot_)];
-        if (e.valid && e.seq == lastLoadSeq_) {
-            liveLoadPending = true;
-            if (e.ready)
-                liveLoadReady = std::max(start, e.readyAt);
-            else
-                liveLoadNever = true;
-        }
-    }
+    // growFrontier() recorded each verified position's pacing flags in
+    // the prediction ring, so the pass below never re-reads the op
+    // stream.
+    const PosPred *preds = posPreds_.data() + posPredsHead_;
 
-    // growFrontier() already drew the stream through the window, so the
-    // loop can index peeked_ directly instead of re-checking per op
-    // (posOp would); the one position it may not have drawn — the
-    // frontier edge itself — is forced here, before the pointer is
-    // taken (peekOp can reallocate the buffer).
-    const workloads::MicroOp *pend =
-        pendingOp_ ? &*pendingOp_ : nullptr;
-    if (!pend || target > 0)
-        (void)peekOp(pend ? target - 1 : target);
-    const workloads::MicroOp *stream = peeked_.data() + peekedHead_;
+    // Retire pacing only ever gates a dispatch once the window can fill
+    // the ROB; below that threshold the retire-schedule bookkeeping
+    // (predReady_, retireLB) is provably dead and skipped wholesale.
+    // The retire walk consumes in-window ready bounds (predReady_) only
+    // once its demand outruns the live ROB, which needs a window of at
+    // least robSize positions — shorter windows skip the collection.
+    const bool canFill =
+        static_cast<std::uint64_t>(count_) + target >= params_.robSize;
+    const bool needPredReady = target >= params_.robSize;
 
     Tick dispTick = start;
     unsigned dispUsed = 0;
@@ -494,20 +712,22 @@ Core::predictBoundary(Tick from)
             dispTick += 1;
             dispUsed = 0;
         }
-        const std::uint64_t occupied = count_ + j;
-        if (occupied >= params_.robSize) {
-            const Tick rT = retireLB(static_cast<std::uint32_t>(
-                occupied + 1 - params_.robSize));
-            if (never)
-                return kTickNever;
-            if (rT > dispTick) {
-                dispTick = rT;
-                dispUsed = 0;
+        if (canFill) {
+            const std::uint64_t occupied = count_ + j;
+            if (occupied >= params_.robSize) {
+                const Tick rT = retireLB(static_cast<std::uint32_t>(
+                    occupied + 1 - params_.robSize));
+                if (never)
+                    return kTickNever;
+                if (rT > dispTick) {
+                    dispTick = rT;
+                    dispUsed = 0;
+                }
             }
         }
-        const workloads::MicroOp &op =
-            pend ? (j == 0 ? *pend : stream[j - 1]) : stream[j];
-        if (op.isMem && op.dependsOnPrev) {
+        const bool depends =
+            j == target ? boundaryDepends : preds[j].depends;
+        if (depends) {
             if (haveLoad) {
                 if (lastLoadReady > dispTick) {
                     dispTick = lastLoadReady;
@@ -525,8 +745,10 @@ Core::predictBoundary(Tick from)
         if (j == target)
             return dispTick;
         dispUsed += 1;
-        predReady_.push_back(op.isMem ? dispTick + l1Lat : dispTick + 1);
-        if (op.isMem && !op.isWrite) {
+        if (needPredReady)
+            predReady_.push_back(preds[j].isMem ? dispTick + l1Lat
+                                                : dispTick + 1);
+        if (preds[j].isLoad) {
             haveLoad = true;
             lastLoadReady = dispTick + l1Lat;
         }
@@ -576,6 +798,13 @@ Core::wake(std::uint16_t slot, Tick now)
                "wake of slot ", slot, " in unexpected state");
     entry.ready = true;
     entry.readyAt = now;
+    for (std::size_t i = 0; i < parkedSlots_.size(); ++i) {
+        if (parkedSlots_[i] == slot) {
+            parkedSlots_[i] = parkedSlots_.back();
+            parkedSlots_.pop_back();
+            break;
+        }
+    }
     // The prediction modelled this slot as never becoming ready, so a
     // delivery at or after the predicted boundary changes nothing the
     // simulated interval [from, boundary) depends on — the memo holds.

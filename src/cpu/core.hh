@@ -125,7 +125,27 @@ class Core
         scanVerified_ = 0;
         scanBoundaryKnown_ = false;
         scanLineCount_ = 0;
+        lineMapStamp_ += 1;
+        posPreds_.clear();
+        posPredsHead_ = 0;
     }
+
+    /**
+     * Enable the lean commit path (DESIGN.md section 16): dispatches of
+     * frontier-verified positions commit through the distilled
+     * Hierarchy::commitPrivateHit() using the prediction the frontier
+     * captured, falling back to the full lookup the instant the
+     * prediction is stale.  Off, every dispatch takes the full path.
+     * The frontier only grows under the event engine's batched runs, so
+     * the knob is naturally inert in the legacy tick loop.
+     */
+    void setLeanCommit(bool on) { leanCommit_ = on; }
+    bool leanCommit() const { return leanCommit_; }
+
+    /** Dispatches committed through the lean path / lean attempts that
+     *  found a stale prediction and fell back (perf counters only). */
+    std::uint64_t leanCommits() const { return leanCommits_; }
+    std::uint64_t leanFallbacks() const { return leanFallbacks_; }
 
     /**
      * A line was evicted or back-invalidated out of this core's L1 from
@@ -199,9 +219,15 @@ class Core
     bool lastLoadPending(Tick now) const;
     CpiBucket stallBucket() const;
 
+    struct PosPred; // defined with the prediction ring below
+
     Tick predictBoundary(Tick from);
     void growFrontier();
+    void resetPacingFold();
+    void foldPacing(PosPred &pos, Tick l1_lat);
     bool compactScanLines();
+    bool tryLeanCommit(Addr addr, std::uint16_t slot, Tick now,
+                       bool is_store, cache::Hierarchy::AccessResult &res);
     const workloads::MicroOp &posOp(std::uint32_t pos);
     const workloads::MicroOp &peekOp(std::size_t idx);
     void stallForward(Tick from, Tick to);
@@ -255,12 +281,112 @@ class Core
     static constexpr unsigned kMaxFrontier = 256;
     static constexpr unsigned kScanLines = 32;
     std::array<Addr, kScanLines> scanLines_{};
+    /** Staleness token captured when the matching scanLines_ entry was
+     *  probed private; positions claiming that line carry a copy in
+     *  posPreds_ so their dispatch can lean-commit in O(1). */
+    std::array<cache::Cache::PredictedLine, kScanLines> scanLinePreds_{};
     unsigned scanLineCount_ = 0;
+
+    /**
+     * Stamped direct-mapped accelerator over scanLines_: line-address →
+     * scanLines_ index, so the per-position membership test in
+     * growFrontier() is O(1) instead of a linear scan (pointer-chase
+     * windows reference a fresh line almost every mem op, which made
+     * every test a full-miss walk).  Purely an accelerator: a stale or
+     * colliding slot only causes a redundant re-probe and a duplicate
+     * scanLines_ entry, both of which the frontier machinery already
+     * tolerates.  Invalidation is wholesale via the stamp (bumped
+     * whenever the line set is cleared or compacted).
+     */
+    static constexpr unsigned kLineMapSlots = 64;
+    struct LineMapSlot
+    {
+        Addr line = 0;
+        std::uint32_t stamp = 0;
+        std::uint8_t idx = 0;
+    };
+    std::array<LineMapSlot, kLineMapSlots> lineMap_{};
+    std::uint32_t lineMapStamp_ = 1;
+
+    static unsigned
+    lineMapSlot(Addr line)
+    {
+        return static_cast<unsigned>(line >> kLineShift) &
+               (kLineMapSlots - 1);
+    }
+
+    int
+    lineMapFind(Addr line) const
+    {
+        const LineMapSlot &s = lineMap_[lineMapSlot(line)];
+        if (s.stamp == lineMapStamp_ && s.line == line)
+            return s.idx;
+        return -1;
+    }
+
+    void
+    lineMapInsert(Addr line, unsigned idx)
+    {
+        lineMap_[lineMapSlot(line)] = {line, lineMapStamp_,
+                                       static_cast<std::uint8_t>(idx)};
+    }
+
+    /** Per-position prediction for one verified frontier position. */
+    struct PosPred
+    {
+        cache::Cache::PredictedLine line; ///< meaningful when isMem
+        Addr lineAddr = 0;                ///< meaningful when isMem
+        /** Start-relative ready-time bound of this insertion's ROB
+         *  entry under the pacing fold (retire holds relaxed away, so
+         *  a lower bound); written by foldPacing(), consumed by the
+         *  fast-path retire walk for windows that fill the ROB. */
+        Tick readyOff = 0;
+        bool isMem = false;
+        bool isLoad = false;  ///< isMem && !isWrite
+        bool depends = false; ///< isMem && dependsOnPrev
+    };
+
+    /**
+     * Per-position prediction ring, in lockstep with the frontier:
+     * growFrontier() pushes one entry per verified position (non-mem
+     * positions included, as placeholders), tick() pops one per ROB
+     * insertion that consumes a position, invalidateBoundary() clears
+     * both.  Ring head is always the prediction for upcoming insertion
+     * #0, so the lean dispatch never searches.  Maintained whether or
+     * not the lean knob is on, so toggling cannot misalign it.
+     */
+    std::vector<PosPred> posPreds_;
+    std::size_t posPredsHead_ = 0;
 
     /** predictBoundary scratch: ready-time lower bounds of the
      *  in-window insertions, consumed by its retire schedule
      *  (capacity persists across calls). */
     std::vector<Tick> predReady_;
+
+    /**
+     * Incremental pacing state for predictBoundary's O(1) fast path.
+     * growFrontier() folds each appended position into this
+     * start-relative dispatch schedule using the exact recurrence of
+     * the full pass minus its retire and live-load terms; when ring
+     * consumption moves the base it refolds over the survivors (once
+     * per consumption burst, not per prediction).  The fold yields
+     * `B0 = start + offTick_` plus the boundary op's own checks — the
+     * full pass's answer with retire pacing relaxed away, so always a
+     * valid lower bound and exact whenever retire pacing cannot bind
+     * (the ROB cannot fill within the window).  When it can bind,
+     * predictBoundary pairs B0 with a standalone walk of the retire
+     * schedule and returns max(B0, R): still never late (both terms
+     * are bounds the full pass enforces), conservative-early only when
+     * a mid-window retire reset cascades — which merely fires the core
+     * event inside the run, replays the prefix, and re-arms.
+     */
+    bool offFresh_ = false;        ///< fold valid for ring base offBase_
+    std::uint32_t offBase_ = 0;    ///< ring index the fold is based at
+    Tick offTick_ = 0;             ///< dispatch offset of next position
+    unsigned offUsed_ = 0;         ///< dispatches already at offTick_
+    Tick offLoadReady_ = 0;        ///< last in-window load data offset
+    bool offHaveLoad_ = false;     ///< window contains a load
+    bool offEarlyDepends_ = false; ///< depends-pos before first load
 
     Tick boundaryMemo_ = 0;
     bool boundaryMemoValid_ = false;
@@ -273,6 +399,15 @@ class Core
 
     int lastLoadSlot_ = -1;
     std::uint64_t lastLoadSeq_ = 0;
+
+    /** ROB slots holding parked loads (dispatched misses awaiting a
+     *  wake) — one entry per outstanding miss.  predictBoundary's
+     *  ROB-full shortcut scans this instead of walking the ROB. */
+    std::vector<std::uint16_t> parkedSlots_;
+
+    bool leanCommit_ = false;
+    std::uint64_t leanCommits_ = 0;
+    std::uint64_t leanFallbacks_ = 0;
 
     std::uint64_t retired_ = 0;
     std::uint64_t retiredAtWindowStart_ = 0;

@@ -214,19 +214,6 @@ Channel::nextEventTick(Tick now) const
     if (nextEventValid_)
         return nextEventCache_;
 
-    // Streaming shortcut: a loaded-skip window can only open after an
-    // acted cycle that issued *nothing* (the skipped stretch must issue
-    // nothing, and legality horizons are monotone between commands), so
-    // while the channel keeps issuing, nextCycle_ — always a sound
-    // never-overestimate answer — is returned without touching the
-    // horizon machinery.  A pending drain flip pins the answer to
-    // nextCycle_ too, so checking it is superfluous here.
-    if (issuedLastCycle_ && !(readQ_.empty() && writeQ_.empty())) {
-        nextEventCache_ = nextCycle_;
-        nextEventValid_ = true;
-        return nextCycle_;
-    }
-
     // A pending drain-hysteresis flip re-shapes scheduling at the very
     // next acted cycle; it must not be skipped over.
     if (drainWouldFlip())
@@ -237,6 +224,11 @@ Channel::nextEventTick(Tick now) const
     // lower-bounded by schedulerHorizon().  A matured horizon pins the
     // answer to the next acted cycle — nothing can beat it, so the
     // rank/refresh scans below are skipped on the hot loaded path.
+    // This is consulted even right after an issuing cycle: every issue
+    // marks its bank/rank horizons dirty, so the recompute here sees
+    // current state, and a loaded channel that is tCCD/bus-limited
+    // skips the cycles on which no command could issue anyway (they
+    // used to poll due and act empty).
     const Tick sched = schedulerHorizon();
     if (sched <= nextCycle_) {
         nextEventCache_ = nextCycle_;

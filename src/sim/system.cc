@@ -149,8 +149,23 @@ System::System(const SystemParams &params,
         coreBatch_ = std::strcmp(env, "0") != 0;
     if (const char *env = std::getenv("HETSIM_PROFILE"))
         profiling_ = std::strcmp(env, "0") != 0;
+    bool lean = true;
+    if (const char *env = std::getenv("HETSIM_LEAN_COMMIT"))
+        lean = std::strcmp(env, "0") != 0;
+    setLeanCommit(lean);
 
     backendTickDue_ = resolveTickDue(backend_.get());
+}
+
+void
+System::setLeanCommit(bool on)
+{
+    // Purely per-core dispatch policy — no event is armed off it, so no
+    // queue re-prime is needed; the frontier rings stay aligned whether
+    // the knob is on or off (Core::posPreds_ is maintained regardless).
+    leanCommit_ = on;
+    for (const auto &core : cores_)
+        core->setLeanCommit(on);
 }
 
 void
@@ -603,6 +618,15 @@ System::profileJson() const
        << ",\"backend_events\":" << backendEvents_
        << ",\"core_replay_ticks\":" << coreReplayTicks_
        << ",\"core_batch\":" << (coreBatch_ ? "true" : "false");
+    std::uint64_t leanCommits = 0;
+    std::uint64_t leanFallbacks = 0;
+    for (const auto &core : cores_) {
+        leanCommits += core->leanCommits();
+        leanFallbacks += core->leanFallbacks();
+    }
+    os << ",\"lean_commit\":" << (leanCommit_ ? "true" : "false")
+       << ",\"lean_commits\":" << leanCommits
+       << ",\"lean_fallbacks\":" << leanFallbacks;
     os.setf(std::ios::fixed);
     os.precision(3);
     os << ",\"cores_ms\":" << p.coresNs / 1e6

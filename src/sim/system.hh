@@ -119,6 +119,17 @@ class System
     void setCoreBatching(bool on);
     bool coreBatchingEnabled() const { return coreBatch_; }
 
+    /**
+     * Lean commit replay toggle (default from HETSIM_LEAN_COMMIT, on
+     * unless overridden; bit-identical either way).  When on, batched
+     * replay commits frontier-verified L1 hits through the distilled
+     * Hierarchy::commitPrivateHit() instead of the full lookup
+     * (DESIGN.md section 16).  Inert outside batched runs — the legacy
+     * tick loop and batching-off event runs never grow the frontier.
+     */
+    void setLeanCommit(bool on);
+    bool leanCommitEnabled() const { return leanCommit_; }
+
     /** Ticks replayed per-tick inside batched core runs (the rest of
      *  each run was integrated in closed form). */
     std::uint64_t coreReplayTicks() const { return coreReplayTicks_; }
@@ -292,6 +303,7 @@ class System
      *  state, recomputed at primeEvents (tracer gate). */
     bool coreBatch_ = true;
     bool coreBatchActive_ = false;
+    bool leanCommit_ = true;
     bool profiling_ = false;
     BackendTickDueFn backendTickDue_ = nullptr;
     std::uint64_t coreReplayTicks_ = 0;

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Lean commit replay (DESIGN §16) differentials.  Three layers:
+ *
+ *  - Shadow-compare fuzz: whole systems on memory-bursty workloads with
+ *    the runtime checker armed, under both DRAM scheduler
+ *    implementations.  With the checker on, every lean commit is served
+ *    by the full lookup (ground truth) and field-compared against the
+ *    distilled expectation; any disagreement raises Rule::LeanCommit.
+ *  - Golden bit-identity: HETSIM_LEAN_COMMIT must be invisible in every
+ *    golden artifact, alone and crossed with the engine and scheduler
+ *    knobs — byte-for-byte, no re-bless.
+ *  - Staleness negatives: an install into a predicted line's set
+ *    between frontier verification and dispatch must make the token
+ *    stale, forcing the full-tick fallback with identical architectural
+ *    state — at the Cache layer (token mechanics) and at the Core layer
+ *    (a fill wake landing while verified-but-undispatched positions
+ *    wait behind a full ROB).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "check/checker.hh"
+#include "common/log.hh"
+#include "cpu/core.hh"
+#include "sim/golden.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sim/system.hh"
+#include "workloads/suite.hh"
+
+using namespace hetsim;
+using namespace hetsim::sim;
+using cache::Cache;
+using cache::Hierarchy;
+using check::Checker;
+using check::Mode;
+using check::Rule;
+using cpu::Core;
+using cwf::LatencySplit;
+using cwf::MemoryBackend;
+using workloads::MicroOp;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Shadow-compare fuzz: checker armed, both schedulers.
+// ---------------------------------------------------------------------
+
+class LeanShadowFuzz
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, const char *, std::uint64_t>>
+{
+};
+
+TEST_P(LeanShadowFuzz, ArmedCheckerFindsNoLeanCommitMismatch)
+{
+    const auto [sched, bench, seed] = GetParam();
+    setenv("HETSIM_SCHED", sched, 1);
+    auto &checker = Checker::instance();
+    checker.enable(Mode::Collect);
+    std::uint64_t leanCommits = 0;
+    {
+        SystemParams p;
+        p.mem = MemConfig::CwfRL;
+        p.seed = seed;
+        System system(p, workloads::suite::byName(bench), 8);
+        system.setEngine(Engine::Event);
+        system.setLeanCommit(true);
+        RunConfig rc;
+        rc.measureReads = 600;
+        rc.warmupReads = 200;
+        const RunResult r = runSimulation(system, rc);
+        EXPECT_GT(r.demandReads, 0u);
+        system.syncComponents();
+        for (unsigned c = 0; c < 8; ++c)
+            leanCommits += system.core(c).leanCommits();
+        EXPECT_EQ(checker.count(Rule::LeanCommit), 0u)
+            << checker.report();
+        EXPECT_TRUE(checker.violations().empty()) << checker.report();
+    }
+    checker.disable();
+    unsetenv("HETSIM_SCHED");
+    EXPECT_GT(leanCommits, 0u)
+        << "shadow fuzz never exercised the lean path";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulerSweep, LeanShadowFuzz,
+    ::testing::Values(
+        std::make_tuple("indexed", "mcf", 0xbeefULL),
+        std::make_tuple("linear", "mcf", 0xbeefULL),
+        std::make_tuple("indexed", "libquantum", 17ULL),
+        std::make_tuple("linear", "libquantum", 17ULL)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_" +
+               std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Golden bit-identity across the knob combos.
+// ---------------------------------------------------------------------
+
+class LeanGolden : public ::testing::TestWithParam<GoldenSpec>
+{
+};
+
+TEST_P(LeanGolden, LeanOnAndOffAreBitIdentical)
+{
+    // The lean commit path must be a pure scheduling optimization:
+    // digest AND full JSON report byte-identical to the full-lookup
+    // tick path, with no re-bless, on every headline configuration.
+    const GoldenSpec &spec = GetParam();
+    setenv("HETSIM_ENGINE", "event", 1);
+    setenv("HETSIM_LEAN_COMMIT", "1", 1);
+    const GoldenOutcome lean = runGolden(spec);
+    setenv("HETSIM_LEAN_COMMIT", "0", 1);
+    const GoldenOutcome full = runGolden(spec);
+    unsetenv("HETSIM_LEAN_COMMIT");
+    unsetenv("HETSIM_ENGINE");
+    EXPECT_EQ(lean.digest, full.digest) << spec.key;
+    EXPECT_EQ(lean.fullReport, full.fullReport)
+        << spec.key
+        << ": lean commits must be bit-identical to full lookups";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, LeanGolden, ::testing::ValuesIn(goldenSpecs()),
+    [](const ::testing::TestParamInfo<GoldenSpec> &info) {
+        return std::string(info.param.key);
+    });
+
+TEST(LeanGoldenCross, KnobIsInvisibleCrossedWithEngineAndScheduler)
+{
+    // One configuration, the full cross: lean x engine x scheduler must
+    // all collapse to a single digest.
+    const GoldenSpec &spec = goldenSpecs().front();
+    std::vector<std::string> digests;
+    for (const char *lean : {"1", "0"}) {
+        for (const char *engine : {"event", "tick"}) {
+            for (const char *sched : {"indexed", "linear"}) {
+                setenv("HETSIM_LEAN_COMMIT", lean, 1);
+                setenv("HETSIM_ENGINE", engine, 1);
+                setenv("HETSIM_SCHED", sched, 1);
+                digests.push_back(runGolden(spec).digest);
+            }
+        }
+    }
+    unsetenv("HETSIM_LEAN_COMMIT");
+    unsetenv("HETSIM_ENGINE");
+    unsetenv("HETSIM_SCHED");
+    for (std::size_t i = 1; i < digests.size(); ++i)
+        EXPECT_EQ(digests[0], digests[i])
+            << spec.key << ": combo " << i << " diverged";
+}
+
+// ---------------------------------------------------------------------
+// Staleness token: Cache layer.
+// ---------------------------------------------------------------------
+
+TEST(LeanStaleness, InstallIntoThePredictedSetInvalidatesTheToken)
+{
+    // 32 KiB / 2-way / 64 B lines = 256 sets; addresses 0x4000 apart
+    // alias to the same set.
+    Cache cache(Cache::Params{"l1", 32 * 1024, 2});
+    const Addr lineC = 0x10000;
+    const Addr lineB = 0x14000;
+    cache.fill(lineC, /*dirty=*/false);
+
+    Cache::PredictedLine pred;
+    ASSERT_TRUE(cache.probePredict(lineC, pred));
+    EXPECT_TRUE(cache.predictionFresh(pred));
+
+    // Same-set install: membership changed, the token must go stale
+    // even though the predicted line itself is untouched.
+    cache.fill(lineB, /*dirty=*/false);
+    EXPECT_FALSE(cache.predictionFresh(pred));
+    EXPECT_FALSE(cache.commitPredicted(pred, lineC, /*mark_dirty=*/false))
+        << "stale commit must refuse with no side effects";
+
+    // A re-probe after the install mints a fresh token that commits.
+    ASSERT_TRUE(cache.probePredict(lineC, pred));
+    EXPECT_TRUE(cache.commitPredicted(pred, lineC, /*mark_dirty=*/false));
+
+    // An install into a *different* set leaves a fresh token fresh.
+    ASSERT_TRUE(cache.probePredict(lineC, pred));
+    cache.fill(0x20040, /*dirty=*/false);
+    EXPECT_TRUE(cache.predictionFresh(pred));
+
+    // Invalidating the predicted line also kills the token.
+    ASSERT_TRUE(cache.probePredict(lineC, pred));
+    cache.invalidate(lineC);
+    EXPECT_FALSE(cache.predictionFresh(pred));
+    EXPECT_FALSE(cache.commitPredicted(pred, lineC, /*mark_dirty=*/false));
+}
+
+// ---------------------------------------------------------------------
+// Staleness token: Core layer (see test_core_batch.cc for the harness
+// shape).  A fill wake installs into a verified line's set while
+// verified-but-undispatched positions wait behind a full ROB; their
+// tokens must go stale and dispatch must fall back to the full path
+// with per-tick-identical state.
+// ---------------------------------------------------------------------
+
+class ManualBackend : public MemoryBackend
+{
+  public:
+    Callbacks cb;
+    std::deque<std::uint64_t> pendingIds;
+
+    void setCallbacks(Callbacks callbacks) override
+    {
+        cb = std::move(callbacks);
+    }
+    unsigned plannedCriticalWord(Addr, unsigned, bool) override
+    {
+        return cwf::kNoFastWord;
+    }
+    bool canAcceptFill(Addr) const override { return true; }
+    void requestFill(const FillRequest &request, Tick) override
+    {
+        pendingIds.push_back(request.mshrId);
+    }
+    bool canAcceptWriteback(Addr) const override { return true; }
+    void requestWriteback(Addr, Tick) override {}
+    void tick(Tick) override {}
+    bool idle() const override { return pendingIds.empty(); }
+    void resetStats(Tick) override {}
+    double dramPowerMw(Tick) const override { return 0; }
+    double busUtilization(Tick) const override { return 0; }
+    LatencySplit latencySplit() const override { return {}; }
+    double rowHitRate() const override { return 0; }
+    const char *name() const override { return "manual"; }
+
+    void
+    completeOldest(Tick now)
+    {
+        ASSERT_FALSE(pendingIds.empty());
+        const std::uint64_t id = pendingIds.front();
+        pendingIds.pop_front();
+        cb.lineCompleted(id, now);
+    }
+};
+
+MicroOp
+alu()
+{
+    return MicroOp{};
+}
+
+MicroOp
+load(Addr addr)
+{
+    MicroOp op;
+    op.isMem = true;
+    op.addr = addr;
+    return op;
+}
+
+struct Harness
+{
+    ManualBackend backend;
+    std::unique_ptr<Hierarchy> hier;
+    std::unique_ptr<Core> core;
+    std::deque<MicroOp> script;
+
+    Harness()
+    {
+        Hierarchy::Params hp;
+        hp.cores = 1;
+        hp.prefetch.enabled = false;
+        hier = std::make_unique<Hierarchy>(hp, backend);
+        core = std::make_unique<Core>(
+            0, Core::Params{},
+            [this] {
+                if (script.empty())
+                    return alu();
+                const MicroOp op = script.front();
+                script.pop_front();
+                return op;
+            },
+            *hier);
+        hier->setWakeFn([this](std::uint8_t, std::uint16_t slot, Tick t) {
+            core->wake(slot, t);
+        });
+    }
+
+    template <typename WakePred>
+    std::vector<Tick>
+    runPerTick(Tick from, Tick to, WakePred wakeAt)
+    {
+        std::vector<Tick> wakes;
+        for (Tick t = from; t < to; ++t) {
+            if (!backend.pendingIds.empty() && wakeAt(t)) {
+                backend.completeOldest(t);
+                wakes.push_back(t);
+            }
+            core->tick(t);
+        }
+        return wakes;
+    }
+
+    void
+    runBatched(Tick from, Tick to, const std::vector<Tick> &wakes)
+    {
+        Tick t = from;
+        std::size_t wi = 0;
+        while (t < to) {
+            const Tick w = wi < wakes.size() ? wakes[wi] : kTickNever;
+            const Tick b = core->nextBoundaryTick(t);
+            const Tick stop = std::min({b, w, to});
+            if (stop > t) {
+                core->runUntil(t, stop);
+                t = stop;
+            }
+            if (t >= to)
+                break;
+            if (t == w) {
+                backend.completeOldest(t);
+                wi += 1;
+                continue;
+            }
+            core->tick(t);
+            t += 1;
+        }
+        ASSERT_EQ(wi, wakes.size()) << "batched driver missed a wake";
+    }
+};
+
+TEST(LeanStaleness, WakeInstallForcesFullTickFallbackAtDispatch)
+{
+    setLogThrowOnError(true);
+    // lineC and lineB alias to the same L1 set (32 KiB / 2-way / 64 B
+    // lines = 256 sets, 0x4000 apart); two ways, so installing B keeps
+    // C resident — the verified positions stay genuine L1 hits, only
+    // their staleness tokens die.
+    const Addr lineC = 0x10000;
+    const Addr lineB = 0x14000;
+
+    std::vector<MicroOp> ops;
+    ops.push_back(load(lineC)); // compulsory miss, primes C
+    for (int i = 0; i < 10; ++i) {
+        ops.push_back(alu());
+        ops.push_back(load(lineC + (i % 8) * 8)); // hits after the prime
+    }
+    ops.push_back(load(lineB)); // miss: parks at the ROB head
+    // Enough verified C hits to fill the 64-entry ROB behind the parked
+    // miss AND leave verified-but-undispatched positions for the wake
+    // to strand with stale tokens.
+    for (int i = 0; i < 120; ++i) {
+        ops.push_back(alu());
+        ops.push_back(load(lineC + (i % 8) * 8));
+    }
+
+    Harness ref, sub;
+    for (const MicroOp &op : ops) {
+        ref.script.push_back(op);
+        sub.script.push_back(op);
+    }
+    sub.core->setLeanCommit(true); // ref keeps the full path (default)
+
+    const auto wakes = ref.runPerTick(
+        0, 600, [](Tick t) { return t == 10 || t == 200; });
+    sub.runBatched(0, 600, wakes);
+
+    EXPECT_EQ(ref.core->leanCommits(), 0u);
+    EXPECT_GT(sub.core->leanCommits(), 0u)
+        << "verified hits before the install must commit lean";
+    EXPECT_GT(sub.core->leanFallbacks(), 0u)
+        << "the same-set install at t=200 must strand stale tokens";
+
+    EXPECT_EQ(ref.core->retired(), sub.core->retired());
+    EXPECT_EQ(ref.core->dispatchStalls(), sub.core->dispatchStalls());
+    EXPECT_EQ(ref.core->robOccupancySum(), sub.core->robOccupancySum());
+    EXPECT_EQ(ref.script.size(), sub.script.size());
+    EXPECT_TRUE(ref.backend.pendingIds.empty());
+    EXPECT_TRUE(sub.backend.pendingIds.empty());
+    setLogThrowOnError(false);
+}
+
+} // namespace
